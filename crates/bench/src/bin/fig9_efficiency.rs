@@ -1,0 +1,63 @@
+//! Fig. 9 — training efficiency vs recommendation quality: wall-clock
+//! training time (to early stop) against test R@20 for the main methods on
+//! two datasets. The paper's headline: N-IMCAT reaches GNN-level quality in a
+//! fraction of the training time.
+//!
+//! Usage: `cargo run --release -p imcat-bench --bin fig9_efficiency`
+
+use imcat_bench::{preset_by_key, run_one, write_json, Env, ModelKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    dataset: String,
+    train_seconds: f64,
+    epochs: usize,
+    recall: f64,
+    seconds_per_epoch: f64,
+}
+
+fn main() {
+    let env = Env::from_env();
+    let models = [
+        ModelKind::Neumf,
+        ModelKind::LightGcn,
+        ModelKind::Tgcn,
+        ModelKind::Kgat,
+        ModelKind::Kgin,
+        ModelKind::Kgcl,
+        ModelKind::NImcat,
+        ModelKind::LImcat,
+    ];
+    let mut points = Vec::new();
+    println!("Fig. 9: training time vs quality\n");
+    for key in ["del", "cite"] {
+        let data = env.dataset(&preset_by_key(key).unwrap());
+        println!("== {} ==", data.name);
+        println!("{:<10} {:>9} {:>7} {:>8} {:>9}", "model", "time(s)", "epochs", "R@20", "s/epoch");
+        for kind in models {
+            let icfg = env.imcat_config();
+            let (r, _) = run_one(kind, &data, &env, &icfg, 1);
+            println!(
+                "{:<10} {:>9.2} {:>7} {:>8.2} {:>9.3}",
+                r.model,
+                r.train_seconds,
+                r.epochs,
+                r.recall * 100.0,
+                r.train_seconds / r.epochs.max(1) as f64
+            );
+            points.push(Point {
+                model: r.model.clone(),
+                dataset: r.dataset.clone(),
+                train_seconds: r.train_seconds,
+                epochs: r.epochs,
+                recall: r.recall,
+                seconds_per_epoch: r.train_seconds / r.epochs.max(1) as f64,
+            });
+        }
+        println!();
+    }
+    let path = write_json("fig9_efficiency", &points);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Table III — ablation of the IMCA module designs: w/o UIT, w/o UT, w/o UI,
+//! w/o NLT, for N-IMCAT and L-IMCAT on HetRec-Del, CiteULike, and Yelp-Tag.
+//!
+//! Usage: `cargo run --release -p imcat-bench --bin table3_ablation`
+//! Environment: `IMCAT_SCALE`, `IMCAT_EPOCHS`, `IMCAT_TRIALS`, `IMCAT_DIM`.
+
+use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_core::ImcatConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    variant: String,
+    dataset: String,
+    recall: f64,
+    ndcg: f64,
+}
+
+/// A named configuration transformer.
+type Variant = (&'static str, fn(ImcatConfig) -> ImcatConfig);
+
+fn main() {
+    let env = Env::from_env();
+    let variants: Vec<Variant> = vec![
+        ("full", |c| c),
+        ("w/o UIT", ImcatConfig::without_uit),
+        ("w/o UT", ImcatConfig::without_ut),
+        ("w/o UI", ImcatConfig::without_ui),
+        ("w/o NLT", ImcatConfig::without_nlt),
+    ];
+    let mut rows = Vec::new();
+    println!("Table III: IMCA design ablations (R@20 / N@20, %)\n");
+    for key in ["del", "cite", "yelp"] {
+        let data = env.dataset(&preset_by_key(key).unwrap());
+        println!("== {} ==", data.name);
+        println!("{:<10} {:<9} {:>8} {:>8}", "model", "variant", "R@20", "N@20");
+        for kind in [ModelKind::NImcat, ModelKind::LImcat] {
+            for (vname, make) in &variants {
+                let icfg = make(env.imcat_config());
+                let (results, _) = run_trials(kind, &data, &env, &icfg);
+                let recall = imcat_bench::mean_of(&results, |r| r.recall);
+                let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
+                println!(
+                    "{:<10} {:<9} {:>8.2} {:>8.2}",
+                    kind.name(),
+                    vname,
+                    recall * 100.0,
+                    ndcg * 100.0
+                );
+                rows.push(Row {
+                    model: kind.name().to_string(),
+                    variant: vname.to_string(),
+                    dataset: data.name.clone(),
+                    recall,
+                    ndcg,
+                });
+            }
+        }
+        println!();
+    }
+    let path = write_json("table3_ablation", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,17 @@
+//! # imcat-bench
+//!
+//! Experiment harness regenerating every table and figure of the IMCAT paper
+//! (see DESIGN.md §3 for the experiment index). Each binary under `src/bin/`
+//! prints the paper's rows/series and writes machine-readable JSON under
+//! `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod runner;
+
+pub use registry::ModelKind;
+pub use runner::{
+    all_preset_keys, mean_of, preset_by_key, run_one, run_trials, write_json, Env,
+    RunResult,
+};

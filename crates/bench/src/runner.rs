@@ -1,0 +1,245 @@
+//! Experiment runner: datasets, training, measurement, and JSON reporting.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use imcat_core::{ImcatConfig, TrainerConfig};
+use imcat_data::{generate, SplitDataset, SynthConfig};
+use imcat_eval::{evaluate_per_user, EvalTarget, PerUserMetrics};
+use imcat_models::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::registry::ModelKind;
+
+/// Shared experiment environment, configurable through environment variables:
+///
+/// * `IMCAT_SCALE`   — multiplier on the preset dataset sizes (default 1.0;
+///   presets are already laptop-scale versions of Table I).
+/// * `IMCAT_EPOCHS`  — max training epochs (default 60).
+/// * `IMCAT_TRIALS`  — trials per cell with different initializations
+///   (paper: 5; default 1 for quick runs).
+/// * `IMCAT_DIM`     — embedding dimension (default 32; paper uses 64).
+#[derive(Clone, Debug)]
+pub struct Env {
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Max epochs per run.
+    pub max_epochs: usize,
+    /// Trials per (model, dataset) cell.
+    pub trials: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Split / generation seed (fixed per the paper: same partition across
+    /// trials).
+    pub data_seed: u64,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Self { scale: 1.0, max_epochs: 60, trials: 1, dim: 32, data_seed: 2023 }
+    }
+}
+
+impl Env {
+    /// Reads overrides from the environment.
+    pub fn from_env() -> Self {
+        let mut e = Self::default();
+        if let Ok(v) = std::env::var("IMCAT_SCALE") {
+            e.scale = v.parse().expect("IMCAT_SCALE must be a float");
+        }
+        if let Ok(v) = std::env::var("IMCAT_EPOCHS") {
+            e.max_epochs = v.parse().expect("IMCAT_EPOCHS must be an integer");
+        }
+        if let Ok(v) = std::env::var("IMCAT_TRIALS") {
+            e.trials = v.parse().expect("IMCAT_TRIALS must be an integer");
+        }
+        if let Ok(v) = std::env::var("IMCAT_DIM") {
+            e.dim = v.parse().expect("IMCAT_DIM must be an integer");
+        }
+        e
+    }
+
+    /// Training hyper-parameters (paper §V-D values, scaled dim).
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig { dim: self.dim, ..TrainConfig::default() }
+    }
+
+    /// Default IMCAT configuration used across experiments.
+    pub fn imcat_config(&self) -> ImcatConfig {
+        ImcatConfig { pretrain_epochs: 5, ..ImcatConfig::default() }
+    }
+
+    /// Trainer settings (scaled-down version of 3000 epochs / patience 100).
+    pub fn trainer_config(&self, seed: u64) -> TrainerConfig {
+        TrainerConfig {
+            max_epochs: self.max_epochs,
+            patience: 3,
+            eval_every: 10,
+            eval_at: 20,
+            seed,
+        }
+    }
+
+    /// Generates and splits one preset at this environment's scale.
+    pub fn dataset(&self, preset: &SynthConfig) -> SplitDataset {
+        let cfg = preset.clone().scaled(self.scale);
+        let data = generate(&cfg, self.data_seed);
+        let mut rng = StdRng::seed_from_u64(self.data_seed ^ 0x517);
+        data.dataset.split((0.7, 0.1, 0.2), &mut rng)
+    }
+}
+
+/// Short dataset keys used on the command line.
+pub fn preset_by_key(key: &str) -> Option<SynthConfig> {
+    match key.to_ascii_lowercase().as_str() {
+        "mv" | "hetrec-mv" => Some(SynthConfig::hetrec_mv()),
+        "fm" | "hetrec-fm" => Some(SynthConfig::hetrec_fm()),
+        "del" | "hetrec-del" => Some(SynthConfig::hetrec_del()),
+        "cite" | "citeulike" => Some(SynthConfig::citeulike()),
+        "lastfm" | "last.fm-tag" => Some(SynthConfig::lastfm_tag()),
+        "amz" | "amzbook-tag" => Some(SynthConfig::amzbook_tag()),
+        "yelp" | "yelp-tag" => Some(SynthConfig::yelp_tag()),
+        _ => None,
+    }
+}
+
+/// All dataset keys in Table I order.
+pub fn all_preset_keys() -> [&'static str; 7] {
+    ["mv", "fm", "del", "cite", "lastfm", "amz", "yelp"]
+}
+
+/// One trained-and-evaluated run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Model display name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Initialization seed.
+    pub seed: u64,
+    /// Test Recall@20.
+    pub recall: f64,
+    /// Test NDCG@20.
+    pub ndcg: f64,
+    /// Wall-clock training seconds (excluding evaluation).
+    pub train_seconds: f64,
+    /// Epochs actually run before early stopping.
+    pub epochs: usize,
+}
+
+/// Trains `kind` on `data` and evaluates test Recall/NDCG@20.
+pub fn run_one(
+    kind: ModelKind,
+    data: &SplitDataset,
+    env: &Env,
+    icfg: &ImcatConfig,
+    seed: u64,
+) -> (RunResult, PerUserMetrics) {
+    let tcfg = env.train_config();
+    let mut model = kind.build(data, &tcfg, icfg, seed);
+    let report = imcat_core::train(model.as_mut(), data, &env.trainer_config(seed));
+    let t0 = Instant::now();
+    let mut score_fn = |users: &[u32]| model.score_users(users);
+    let per_user = evaluate_per_user(&mut score_fn, data, 20, EvalTarget::Test);
+    let _ = t0;
+    let agg = per_user.aggregate();
+    (
+        RunResult {
+            model: kind.name().to_string(),
+            dataset: data.name.clone(),
+            seed,
+            recall: agg.recall,
+            ndcg: agg.ndcg,
+            train_seconds: report.train_seconds,
+            epochs: report.epochs_run,
+        },
+        per_user,
+    )
+}
+
+/// Runs `env.trials` seeds of a cell, returning all results plus the pooled
+/// per-user recall vectors (for paired t-tests across models).
+pub fn run_trials(
+    kind: ModelKind,
+    data: &SplitDataset,
+    env: &Env,
+    icfg: &ImcatConfig,
+) -> (Vec<RunResult>, Vec<f64>) {
+    let mut results = Vec::with_capacity(env.trials);
+    let mut pooled: Vec<f64> = Vec::new();
+    for t in 0..env.trials {
+        let (r, per_user) = run_one(kind, data, env, icfg, 1000 + t as u64);
+        results.push(r);
+        if pooled.is_empty() {
+            pooled = per_user.recall.clone();
+        } else {
+            for (p, r2) in pooled.iter_mut().zip(&per_user.recall) {
+                *p += r2;
+            }
+        }
+    }
+    for p in &mut pooled {
+        *p /= env.trials as f64;
+    }
+    (results, pooled)
+}
+
+/// Writes a serializable report under `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("cannot create target/experiments");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("report serialization failed");
+    std::fs::write(&path, json).expect("cannot write experiment JSON");
+    path
+}
+
+/// Mean of per-seed values of one field.
+pub fn mean_of(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_and_parsing() {
+        let e = Env::default();
+        assert_eq!(e.dim, 32);
+        assert_eq!(e.trials, 1);
+        assert!(preset_by_key("mv").is_some());
+        assert!(preset_by_key("bogus").is_none());
+        assert_eq!(all_preset_keys().len(), 7);
+    }
+
+    #[test]
+    fn run_one_smoke() {
+        let env = Env { max_epochs: 3, ..Env::default() };
+        let preset = SynthConfig::tiny();
+        let cfg = preset.clone();
+        let data = {
+            let d = generate(&cfg, 1);
+            let mut rng = StdRng::seed_from_u64(2);
+            d.dataset.split((0.7, 0.1, 0.2), &mut rng)
+        };
+        let icfg = ImcatConfig { pretrain_epochs: 1, ..Default::default() };
+        let (r, per_user) = run_one(ModelKind::Bprmf, &data, &env, &icfg, 7);
+        assert_eq!(r.model, "BPRMF");
+        assert!(r.recall >= 0.0 && r.recall <= 1.0);
+        assert!(r.train_seconds > 0.0);
+        assert_eq!(per_user.users.len(), data.test_users().len());
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let path = write_json("unit_test_report", &vec![1, 2, 3]);
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains('2'));
+    }
+}

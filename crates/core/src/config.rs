@@ -1,0 +1,178 @@
+//! IMCAT hyper-parameters (paper §V-D).
+
+/// Which sources participate in the contrastive alignment — the ablation axes
+/// of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlignMode {
+    /// Full U ↔ (I ⊕ T) alignment (the proposed method).
+    Full,
+    /// "w/o UT": drop the tag aggregation, aligning users with items only.
+    NoTags,
+    /// "w/o UI": drop the item embedding, aligning users with tags only.
+    NoItems,
+    /// "w/o UIT": no alignment at all.
+    None,
+}
+
+/// How tag clusters are maintained during training (§IV-A.2: the paper
+/// argues end-to-end self-supervised clustering beats the "naive solution"
+/// of periodically re-running k-means on the tag embeddings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusteringMode {
+    /// Learn cluster centers jointly via the Student-t KL objective (Eq. 4–6).
+    EndToEnd,
+    /// Re-run Lloyd k-means on the tag embeddings at every refresh; no KL
+    /// loss, centers are not trainable. The paper's strawman baseline.
+    PeriodicKmeans,
+}
+
+/// Configuration of the IMCAT plug-in.
+#[derive(Clone, Debug)]
+pub struct ImcatConfig {
+    /// Number of user intents / tag clusters `K` (paper sweeps {1,2,4,8,16};
+    /// must divide the embedding dimension).
+    pub k_intents: usize,
+    /// Scale of the item–tag BPR loss `L_VT` (α in Eq. 18).
+    pub alpha: f32,
+    /// Scale of the contrastive alignment loss `L_CA*` (β in Eq. 18).
+    pub beta: f32,
+    /// Scale of the clustering KL loss `L_KL` (γ in Eq. 18).
+    pub gamma: f32,
+    /// InfoNCE smoothing factor τ (paper: 1).
+    pub tau: f32,
+    /// Student-t degrees of freedom η (paper: 1).
+    pub eta: f32,
+    /// Jaccard threshold δ for the ISA module (paper sweeps {0.1..0.9},
+    /// best at 0.7–0.9).
+    pub delta: f32,
+    /// Maximum ISA positives sampled per item per step.
+    pub isa_max_pos: usize,
+    /// Enables the intent-aware set-to-set alignment module (§IV-C).
+    pub use_isa: bool,
+    /// Enables the non-linear transformation heads (Eq. 14).
+    pub use_nlt: bool,
+    /// Alignment ablation mode (Table III).
+    pub align: AlignMode,
+    /// Epochs trained with only `L_UV + α L_VT` before clustering activates
+    /// (paper: 500 of 3000; scaled default for CPU runs).
+    pub pretrain_epochs: usize,
+    /// Steps between hard-assignment refreshes (paper: 10 iterations).
+    pub refresh_every: usize,
+    /// Weight of the intent-independence regularizer (§V-D, following KGIN).
+    pub independence_weight: f32,
+    /// Clustering strategy (end-to-end vs periodic k-means, §IV-A.2).
+    pub clustering: ClusteringMode,
+    /// Item batch size for the alignment pass.
+    pub align_batch: usize,
+    /// Triplet batch size for the two BPR losses (paper: 1024).
+    pub bpr_batch: usize,
+}
+
+impl Default for ImcatConfig {
+    fn default() -> Self {
+        Self {
+            k_intents: 4,
+            alpha: 1.0,
+            beta: 0.1,
+            gamma: 0.1,
+            tau: 1.0,
+            eta: 1.0,
+            delta: 0.7,
+            isa_max_pos: 1,
+            use_isa: true,
+            use_nlt: true,
+            align: AlignMode::Full,
+            pretrain_epochs: 10,
+            refresh_every: 10,
+            independence_weight: 0.1,
+            clustering: ClusteringMode::EndToEnd,
+            align_batch: 128,
+            bpr_batch: 512,
+        }
+    }
+}
+
+impl ImcatConfig {
+    /// Ablation: "w/o UIT" — removes the alignment entirely.
+    pub fn without_uit(mut self) -> Self {
+        self.align = AlignMode::None;
+        self
+    }
+
+    /// Ablation: "w/o UT" — aligns users with items only.
+    pub fn without_ut(mut self) -> Self {
+        self.align = AlignMode::NoTags;
+        self
+    }
+
+    /// Ablation: "w/o UI" — aligns users with tags only.
+    pub fn without_ui(mut self) -> Self {
+        self.align = AlignMode::NoItems;
+        self
+    }
+
+    /// Ablation: "w/o NLT" — removes the non-linear projection heads.
+    pub fn without_nlt(mut self) -> Self {
+        self.use_nlt = false;
+        self
+    }
+
+    /// Ablation: removes the set-to-set alignment (Fig. 6 baseline).
+    pub fn without_isa(mut self) -> Self {
+        self.use_isa = false;
+        self
+    }
+
+    /// Design ablation: replace end-to-end clustering with periodic k-means
+    /// (§IV-A.2's naive baseline).
+    pub fn with_periodic_kmeans(mut self) -> Self {
+        self.clustering = ClusteringMode::PeriodicKmeans;
+        self
+    }
+
+    /// Validates the configuration against an embedding dimension.
+    pub fn validate(&self, dim: usize) {
+        assert!(self.k_intents >= 1, "need at least one intent");
+        assert_eq!(
+            dim % self.k_intents,
+            0,
+            "embedding dim {dim} must be divisible by K={}",
+            self.k_intents
+        );
+        assert!(self.tau > 0.0 && self.eta > 0.0);
+        assert!((0.0..=1.0).contains(&self.delta));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ImcatConfig::default().validate(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_k_rejected() {
+        let cfg = ImcatConfig { k_intents: 5, ..Default::default() };
+        cfg.validate(32);
+    }
+
+    #[test]
+    fn clustering_mode_builder() {
+        let cfg = ImcatConfig::default().with_periodic_kmeans();
+        assert_eq!(cfg.clustering, ClusteringMode::PeriodicKmeans);
+        assert_eq!(ImcatConfig::default().clustering, ClusteringMode::EndToEnd);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert_eq!(ImcatConfig::default().without_uit().align, AlignMode::None);
+        assert_eq!(ImcatConfig::default().without_ut().align, AlignMode::NoTags);
+        assert_eq!(ImcatConfig::default().without_ui().align, AlignMode::NoItems);
+        assert!(!ImcatConfig::default().without_nlt().use_nlt);
+        assert!(!ImcatConfig::default().without_isa().use_isa);
+    }
+}

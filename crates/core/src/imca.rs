@@ -1,0 +1,283 @@
+//! Intent-aware Multi-source Contrastive Alignment (paper §IV-B) and its
+//! set-to-set extension (§IV-C), expressed as one *masked* bidirectional
+//! InfoNCE.
+//!
+//! For a batch of items, anchors are the per-intent aggregated user
+//! representations `ū_j^k` and targets are fused item–tag representations
+//! `z̄_{j'}^k`. A positive mask generalizes the diagonal of plain InfoNCE:
+//! with the identity mask this is exactly Eqs. 11–13; adding the ISA
+//! positives `P_j^k` (rows of similar items by per-intent Jaccard, Eq. 15)
+//! yields Eqs. 16–17. Per-anchor weights carry the intent relatedness `M`
+//! (Eq. 9).
+
+use imcat_tensor::{Csr, Tape, Tensor, Var};
+
+/// Positive mask for one intent's alignment batch: `mask[j][p] = 1/|P_j|`
+/// over anchor `j`'s positive target columns.
+#[derive(Clone, Debug)]
+pub struct PositiveMask {
+    mask: Tensor,
+}
+
+impl PositiveMask {
+    /// Identity mask (plain IMCA: the only positive of anchor `j` is target
+    /// `j`).
+    pub fn identity(n: usize) -> Self {
+        let mut mask = Tensor::zeros(n, n);
+        for i in 0..n {
+            mask.set(i, i, 1.0);
+        }
+        Self { mask }
+    }
+
+    /// Mask over `n_anchors x n_targets` from explicit positive lists
+    /// (`positives[j]` = target columns that are positives of anchor `j`).
+    /// Rows are weighted `1/|P_j|`; anchors with no positives get all-zero
+    /// rows and thus contribute nothing.
+    pub fn from_lists(n_anchors: usize, n_targets: usize, positives: &[Vec<usize>]) -> Self {
+        assert_eq!(positives.len(), n_anchors);
+        let mut mask = Tensor::zeros(n_anchors, n_targets);
+        for (j, pos) in positives.iter().enumerate() {
+            if pos.is_empty() {
+                continue;
+            }
+            let w = 1.0 / pos.len() as f32;
+            for &p in pos {
+                assert!(p < n_targets, "positive column {p} out of range");
+                mask.set(j, p, w);
+            }
+        }
+        Self { mask }
+    }
+
+    /// The forward (anchor → target) mask.
+    pub fn forward(&self) -> &Tensor {
+        &self.mask
+    }
+
+    /// Transposed mask with rows re-normalized, for the target → anchor
+    /// direction.
+    pub fn backward(&self) -> Tensor {
+        let t = self.mask.transposed();
+        let mut out = t.clone();
+        for r in 0..out.rows() {
+            let nnz = t.row(r).iter().filter(|&&x| x > 0.0).count();
+            if nnz == 0 {
+                continue;
+            }
+            let w = 1.0 / nnz as f32;
+            for x in out.row_mut(r) {
+                *x = if *x > 0.0 { w } else { 0.0 };
+            }
+        }
+        out
+    }
+}
+
+/// Bidirectional masked InfoNCE (Eqs. 11–13 / 16–17 for one intent `k`).
+///
+/// * `anchors` — `ū^k` rows, `[B, d/K]`.
+/// * `targets` — `z̄^k` rows, `[N, d/K]` (`N ≥ B` when ISA appends extra
+///   similar items).
+/// * `mask` — positive structure (see [`PositiveMask`]).
+/// * `anchor_weights` — `[B, 1]` intent relatedness `M_{·,k}`.
+/// * `target_weights` — `[N, 1]` relatedness of each target's item.
+///
+/// Rows are L2-normalized, so logits are cosine similarities over `τ`.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_info_nce(
+    tape: &mut Tape,
+    anchors: Var,
+    targets: Var,
+    mask: &PositiveMask,
+    anchor_weights: &Tensor,
+    target_weights: &Tensor,
+    tau: f32,
+) -> Var {
+    let b = tape.value(anchors).rows();
+    let n = tape.value(targets).rows();
+    assert_eq!(mask.forward().shape(), (b, n), "mask shape mismatch");
+    assert_eq!(anchor_weights.shape(), (b, 1));
+    assert_eq!(target_weights.shape(), (n, 1));
+    let an = tape.l2_normalize_rows(anchors, 1e-12);
+    let tn = tape.l2_normalize_rows(targets, 1e-12);
+    let logits = tape.matmul_nt(an, tn);
+    let logits = tape.scale(logits, 1.0 / tau);
+
+    // u → it direction.
+    let ls = tape.log_softmax_rows(logits);
+    let m = tape.constant(mask.forward().clone());
+    let picked = tape.mul(ls, m);
+    let per_anchor = tape.sum_rows(picked);
+    let aw = tape.constant(anchor_weights.clone());
+    let weighted = tape.mul(per_anchor, aw);
+    let s_fwd = tape.sum_all(weighted);
+
+    // it → u direction.
+    let lt = tape.transpose(logits);
+    let ls_t = tape.log_softmax_rows(lt);
+    let m_t = tape.constant(mask.backward());
+    let picked_t = tape.mul(ls_t, m_t);
+    let per_target = tape.sum_rows(picked_t);
+    let tw = tape.constant(target_weights.clone());
+    let weighted_t = tape.mul(per_target, tw);
+    let s_bwd = tape.sum_all(weighted_t);
+
+    let total = tape.add(s_fwd, s_bwd);
+    // Negative mean over the two directions, scaled by batch size.
+    tape.scale(total, -0.5 / b as f32)
+}
+
+/// Builds the per-cluster mean-aggregation CSR of Eq. 8: row `j` averages the
+/// embeddings of item `j`'s tags that fall in cluster `k`. Rows of items with
+/// no cluster-`k` tags are empty (their aggregate is the zero vector, as the
+/// paper specifies).
+pub fn cluster_tag_aggregator(item_tag: &Csr, assignment: &[usize], k: usize) -> Csr {
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
+    for j in 0..item_tag.rows() {
+        let in_cluster: Vec<u32> = item_tag
+            .row_indices(j)
+            .iter()
+            .copied()
+            .filter(|&t| assignment[t as usize] == k)
+            .collect();
+        if in_cluster.is_empty() {
+            continue;
+        }
+        let w = 1.0 / in_cluster.len() as f32;
+        for t in in_cluster {
+            triplets.push((j as u32, t, w));
+        }
+    }
+    Csr::from_triplets(item_tag.rows(), item_tag.cols(), &triplets)
+}
+
+/// Intent-relatedness matrix `M` (Eq. 9): `M[j][k] = softmax_k(|T^k(v_j)|)`.
+/// Counts are clamped before exponentiation for `f32` safety; the softmax is
+/// computed in max-shifted form so the clamp only matters for the paper's
+/// exact formula at extreme counts.
+pub fn relatedness_matrix(item_tag: &Csr, assignment: &[usize], k_intents: usize) -> Tensor {
+    let n_items = item_tag.rows();
+    let mut m = Tensor::zeros(n_items, k_intents);
+    for j in 0..n_items {
+        let mut counts = vec![0f32; k_intents];
+        for &t in item_tag.row_indices(j) {
+            counts[assignment[t as usize]] += 1.0;
+        }
+        let max = counts.iter().fold(0f32, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for (kk, c) in counts.iter().enumerate() {
+            let e = (c - max).min(30.0).exp();
+            m.set(j, kk, e);
+            sum += e;
+        }
+        for kk in 0..k_intents {
+            let v = m.get(j, kk) / sum;
+            m.set(j, kk, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcat_tensor::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_mask_matches_plain_infonce_structure() {
+        let m = PositiveMask::identity(3);
+        assert_eq!(m.forward().get(0, 0), 1.0);
+        assert_eq!(m.forward().get(0, 1), 0.0);
+        let b = m.backward();
+        assert_eq!(b.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_lists_weights_rows() {
+        let m = PositiveMask::from_lists(2, 4, &[vec![0, 2], vec![1]]);
+        assert_eq!(m.forward().get(0, 0), 0.5);
+        assert_eq!(m.forward().get(0, 2), 0.5);
+        assert_eq!(m.forward().get(1, 1), 1.0);
+        // Backward: target 2's positives = anchor 0 only.
+        let b = m.backward();
+        assert_eq!(b.get(2, 0), 1.0);
+        assert_eq!(b.get(3, 0), 0.0);
+        assert_eq!(b.get(3, 1), 0.0);
+    }
+
+    #[test]
+    fn aligned_views_give_lower_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = normal(5, 6, 1.0, &mut rng);
+        let other = normal(5, 6, 1.0, &mut rng);
+        let mask = PositiveMask::identity(5);
+        let w = Tensor::full(5, 1, 0.2);
+        let mut tape = Tape::new();
+        let av = tape.constant(a.clone());
+        let av2 = tape.constant(a.clone());
+        let aligned = masked_info_nce(&mut tape, av, av2, &mask, &w, &w, 0.5);
+        let av3 = tape.constant(a);
+        let bv = tape.constant(other);
+        let misaligned = masked_info_nce(&mut tape, av3, bv, &mask, &w, &w, 0.5);
+        assert!(tape.value(aligned).item() < tape.value(misaligned).item());
+    }
+
+    #[test]
+    fn extra_targets_allowed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let anchors = normal(3, 4, 1.0, &mut rng);
+        let targets = normal(5, 4, 1.0, &mut rng); // 2 extra ISA rows
+        let mask = PositiveMask::from_lists(3, 5, &[vec![0, 3], vec![1], vec![2, 4]]);
+        let aw = Tensor::full(3, 1, 0.33);
+        let tw = Tensor::full(5, 1, 0.33);
+        let mut tape = Tape::new();
+        let av = tape.constant(anchors);
+        let tv = tape.constant(targets);
+        let loss = masked_info_nce(&mut tape, av, tv, &mask, &aw, &tw, 1.0);
+        assert!(tape.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn cluster_aggregator_restricts_and_averages() {
+        // 3 items, 4 tags; clusters: tags {0,1} -> 0, {2,3} -> 1.
+        let it = Csr::from_adjacency(3, 4, &[vec![0, 1, 2], vec![2, 3], vec![1]]);
+        let assignment = vec![0, 0, 1, 1];
+        let agg0 = cluster_tag_aggregator(&it, &assignment, 0);
+        assert_eq!(agg0.row_indices(0), &[0, 1]);
+        assert_eq!(agg0.row_values(0), &[0.5, 0.5]);
+        assert_eq!(agg0.row_nnz(1), 0); // item 1 has no cluster-0 tags
+        let agg1 = cluster_tag_aggregator(&it, &assignment, 1);
+        assert_eq!(agg1.row_indices(1), &[2, 3]);
+        assert_eq!(agg1.row_values(0), &[1.0]); // only tag 2 in cluster 1
+    }
+
+    #[test]
+    fn relatedness_rows_are_softmax() {
+        let it = Csr::from_adjacency(2, 4, &[vec![0, 1, 2], vec![3]]);
+        let assignment = vec![0, 0, 1, 1];
+        let m = relatedness_matrix(&it, &assignment, 2);
+        for j in 0..2 {
+            let s: f32 = m.row(j).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Item 0 has 2 cluster-0 tags vs 1 cluster-1 tag: M[0][0] > M[0][1].
+        assert!(m.get(0, 0) > m.get(0, 1));
+        // Ratio matches softmax(2,1) = e/(e+1).
+        let expect = (2.0f32 - 2.0).exp() / ((2.0f32 - 2.0).exp() + (1.0f32 - 2.0).exp());
+        assert!((m.get(0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relatedness_survives_huge_counts() {
+        // 200 tags in one cluster must not overflow to NaN.
+        let neighbors = vec![(0..200).collect::<Vec<u32>>()];
+        let it = Csr::from_adjacency(1, 200, &neighbors);
+        let assignment = vec![0; 200];
+        let m = relatedness_matrix(&it, &assignment, 2);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        assert!(m.get(0, 0) > 0.99);
+    }
+}

@@ -1,0 +1,298 @@
+//! Dataset model and train/validation/test splitting.
+//!
+//! Mirrors the problem formulation of §III-A: a binary user–item rating
+//! matrix `Y`, an item–tag labelling matrix `Y'`, and a per-user 7:1:2 split
+//! of interactions into train/validation/test (§V-B).
+
+use imcat_graph::Bipartite;
+use imcat_tensor::Csr;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A tag-enhanced recommendation dataset before splitting.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"HetRec-MV (synthetic)"`).
+    pub name: String,
+    /// User → item interactions (`Y`).
+    pub user_item: Bipartite,
+    /// Item → tag assignments (`Y'`).
+    pub item_tag: Bipartite,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw incidence matrices.
+    pub fn new(name: impl Into<String>, user_item: Csr, item_tag: Csr) -> Self {
+        assert_eq!(
+            user_item.cols(),
+            item_tag.rows(),
+            "user-item and item-tag matrices disagree on the number of items"
+        );
+        Self {
+            name: name.into(),
+            user_item: Bipartite::new(user_item),
+            item_tag: Bipartite::new(item_tag),
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.user_item.n_rows()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.user_item.n_cols()
+    }
+
+    /// Number of tags.
+    pub fn n_tags(&self) -> usize {
+        self.item_tag.n_cols()
+    }
+
+    /// Table-I style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            n_users: self.n_users(),
+            n_items: self.n_items(),
+            n_tags: self.n_tags(),
+            n_ui: self.user_item.n_edges(),
+            ui_density: self.user_item.density(),
+            ui_avg_degree: self.user_item.avg_row_degree(),
+            n_it: self.item_tag.n_edges(),
+            it_density: self.item_tag.density(),
+            it_avg_degree: self.item_tag.avg_row_degree(),
+        }
+    }
+
+    /// Splits each user's interactions into train/validation/test with the
+    /// given ratios (paper: 0.7 / 0.1 / 0.2). Every user keeps at least one
+    /// training item, and users with ≥ 2 interactions keep at least one test
+    /// item.
+    pub fn split(&self, ratios: (f64, f64, f64), rng: &mut impl Rng) -> SplitDataset {
+        let (tr, va, te) = ratios;
+        assert!((tr + va + te - 1.0).abs() < 1e-9, "split ratios must sum to 1");
+        let n_users = self.n_users();
+        let mut train_adj: Vec<Vec<u32>> = Vec::with_capacity(n_users);
+        let mut val: Vec<Vec<u32>> = Vec::with_capacity(n_users);
+        let mut test: Vec<Vec<u32>> = Vec::with_capacity(n_users);
+        for u in 0..n_users {
+            let mut items: Vec<u32> = self.user_item.forward().row_indices(u).to_vec();
+            items.shuffle(rng);
+            let n = items.len();
+            if n == 0 {
+                train_adj.push(Vec::new());
+                val.push(Vec::new());
+                test.push(Vec::new());
+                continue;
+            }
+            let n_test = if n >= 2 { ((n as f64 * te).round() as usize).max(1) } else { 0 };
+            let n_val =
+                if n - n_test >= 2 { (n as f64 * va).round() as usize } else { 0 };
+            let n_train = n - n_test - n_val;
+            debug_assert!(n_train >= 1);
+            let mut it = items.into_iter();
+            let tr_items: Vec<u32> = it.by_ref().take(n_train).collect();
+            let va_items: Vec<u32> = it.by_ref().take(n_val).collect();
+            let te_items: Vec<u32> = it.collect();
+            train_adj.push(tr_items);
+            val.push(va_items);
+            test.push(te_items);
+        }
+        let train =
+            Csr::from_adjacency(n_users, self.n_items(), &train_adj);
+        SplitDataset {
+            name: self.name.clone(),
+            train: Bipartite::new(train),
+            val,
+            test,
+            item_tag: self.item_tag.clone(),
+        }
+    }
+}
+
+/// A dataset with interactions split for evaluation. The item–tag matrix is
+/// side information and is never split.
+#[derive(Clone, Debug)]
+pub struct SplitDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Training user → item interactions.
+    pub train: Bipartite,
+    /// Per-user validation items.
+    pub val: Vec<Vec<u32>>,
+    /// Per-user test items.
+    pub test: Vec<Vec<u32>>,
+    /// Item → tag assignments.
+    pub item_tag: Bipartite,
+}
+
+impl SplitDataset {
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.train.n_rows()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.train.n_cols()
+    }
+
+    /// Number of tags.
+    pub fn n_tags(&self) -> usize {
+        self.item_tag.n_cols()
+    }
+
+    /// Training items of one user (sorted).
+    pub fn train_items(&self, u: usize) -> &[u32] {
+        self.train.forward().row_indices(u)
+    }
+
+    /// All `(user, item)` training pairs.
+    pub fn train_pairs(&self) -> Vec<(u32, u32)> {
+        self.train.forward().iter().map(|(u, v, _)| (u, v)).collect()
+    }
+
+    /// All `(item, tag)` pairs.
+    pub fn item_tag_pairs(&self) -> Vec<(u32, u32)> {
+        self.item_tag.forward().iter().map(|(v, t, _)| (v, t)).collect()
+    }
+
+    /// Users with a non-empty test set (the evaluable population).
+    pub fn test_users(&self) -> Vec<u32> {
+        (0..self.n_users() as u32)
+            .filter(|&u| !self.test[u as usize].is_empty())
+            .collect()
+    }
+}
+
+/// Statistics matching a row block of the paper's Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// #User.
+    pub n_users: usize,
+    /// #Item.
+    pub n_items: usize,
+    /// #Tag.
+    pub n_tags: usize,
+    /// #UI — user–item interactions.
+    pub n_ui: usize,
+    /// UI density.
+    pub ui_density: f64,
+    /// UI average user degree.
+    pub ui_avg_degree: f64,
+    /// #IT — item–tag assignments.
+    pub n_it: usize,
+    /// IT density.
+    pub it_density: f64,
+    /// IT average item degree.
+    pub it_avg_degree: f64,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} users={:<6} items={:<6} tags={:<5} UI={:<7} (density {:.2}%, deg {:.2}) IT={:<7} (density {:.2}%, deg {:.2})",
+            self.name,
+            self.n_users,
+            self.n_items,
+            self.n_tags,
+            self.n_ui,
+            self.ui_density * 100.0,
+            self.ui_avg_degree,
+            self.n_it,
+            self.it_density * 100.0,
+            self.it_avg_degree,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> Dataset {
+        let ui = Csr::from_adjacency(
+            3,
+            10,
+            &[
+                (0..10).collect(),
+                vec![0, 1, 2, 3, 4],
+                vec![7, 8],
+            ],
+        );
+        let it = Csr::from_adjacency(10, 4, &(0..10).map(|i| vec![i % 4]).collect::<Vec<_>>());
+        Dataset::new("toy", ui, it)
+    }
+
+    #[test]
+    fn stats_match_construction() {
+        let d = toy_dataset();
+        let s = d.stats();
+        assert_eq!(s.n_users, 3);
+        assert_eq!(s.n_items, 10);
+        assert_eq!(s.n_tags, 4);
+        assert_eq!(s.n_ui, 17);
+        assert_eq!(s.n_it, 10);
+        assert!((s.ui_density - 17.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = d.split((0.7, 0.1, 0.2), &mut rng);
+        for u in 0..3 {
+            let train: Vec<u32> = s.train_items(u).to_vec();
+            let mut all: Vec<u32> = train.clone();
+            all.extend(&s.val[u]);
+            all.extend(&s.test[u]);
+            all.sort_unstable();
+            let mut expected: Vec<u32> = d.user_item.forward().row_indices(u).to_vec();
+            expected.sort_unstable();
+            assert_eq!(all, expected, "user {u} split loses/duplicates items");
+            for t in &s.test[u] {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn split_keeps_nonempty_train_and_test() {
+        let d = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.split((0.7, 0.1, 0.2), &mut rng);
+        for u in 0..3 {
+            assert!(!s.train_items(u).is_empty(), "user {u} lost all train items");
+            assert!(!s.test[u].is_empty(), "user {u} lost all test items");
+        }
+        assert_eq!(s.test_users(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn split_ratio_roughly_respected_for_large_user() {
+        let items: Vec<u32> = (0..100).collect();
+        let ui = Csr::from_adjacency(1, 100, &[items]);
+        let it = Csr::from_adjacency(100, 2, &(0..100).map(|i| vec![i % 2]).collect::<Vec<_>>());
+        let d = Dataset::new("big-user", ui, it);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = d.split((0.7, 0.1, 0.2), &mut rng);
+        assert_eq!(s.train_items(0).len(), 70);
+        assert_eq!(s.val[0].len(), 10);
+        assert_eq!(s.test[0].len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the number of items")]
+    fn mismatched_item_counts_rejected() {
+        let ui = Csr::from_adjacency(1, 3, &[vec![0]]);
+        let it = Csr::from_adjacency(4, 2, &[vec![0], vec![1], vec![0], vec![1]]);
+        let _ = Dataset::new("bad", ui, it);
+    }
+}

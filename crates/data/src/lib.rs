@@ -1,0 +1,20 @@
+//! # imcat-data
+//!
+//! Data substrate for the IMCAT reproduction: the tag-enhanced dataset model
+//! (`Y` user–item, `Y'` item–tag from §III-A of the paper), per-user 7:1:2
+//! splitting (§V-B), BPR triplet and contrastive item-batch samplers (§V-D),
+//! loaders for real HetRec-style dumps with the paper's 10-core/5-item
+//! filtering (§V-A), and a latent-intent synthetic generator calibrated to
+//! the shapes of Table I (see DESIGN.md for the substitution argument).
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod load;
+mod sample;
+mod synth;
+
+pub use dataset::{Dataset, DatasetStats, SplitDataset};
+pub use load::{build_dataset, load_dataset, parse_pairs, save_dataset, FilterConfig, RawData};
+pub use sample::{BprBatch, BprSampler, ItemBatcher};
+pub use synth::{generate, GroundTruth, SynthConfig, SynthData};

@@ -1,0 +1,242 @@
+//! Loaders for real tag-enhanced datasets.
+//!
+//! Reads HetRec-style whitespace/tab-separated dumps: one file of
+//! `user item [weight]` interactions and one of `item tag` assignments
+//! (header lines are skipped automatically). Arbitrary ids are re-indexed to
+//! a contiguous range, then the paper's preprocessing is applied (§V-A):
+//! iterative 10-core filtering of users and items, and removal of tags
+//! assigned to fewer than five items.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+use imcat_tensor::Csr;
+
+use crate::dataset::Dataset;
+
+/// Preprocessing thresholds from §V-A of the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct FilterConfig {
+    /// Minimum interactions per user and per item (paper: 10).
+    pub min_degree: usize,
+    /// Minimum items per tag (paper: 5).
+    pub min_tag_items: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self { min_degree: 10, min_tag_items: 5 }
+    }
+}
+
+/// Raw edge lists before indexing.
+#[derive(Clone, Debug, Default)]
+pub struct RawData {
+    /// `(user, item)` pairs with original ids.
+    pub user_item: Vec<(u64, u64)>,
+    /// `(item, tag)` pairs with original ids.
+    pub item_tag: Vec<(u64, u64)>,
+}
+
+/// Parses a pair file; ignores malformed and header lines.
+pub fn parse_pairs(reader: impl BufRead) -> std::io::Result<Vec<(u64, u64)>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let mut fields = line.split_whitespace();
+        let (Some(a), Some(b)) = (fields.next(), fields.next()) else { continue };
+        if let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) {
+            out.push((a, b));
+        }
+    }
+    Ok(out)
+}
+
+/// Loads `user_item_path` and `item_tag_path`, applies [`FilterConfig`], and
+/// returns an indexed dataset.
+pub fn load_dataset(
+    name: &str,
+    user_item_path: impl AsRef<Path>,
+    item_tag_path: impl AsRef<Path>,
+    filter: FilterConfig,
+) -> std::io::Result<Dataset> {
+    let ui = parse_pairs(std::io::BufReader::new(std::fs::File::open(user_item_path)?))?;
+    let it = parse_pairs(std::io::BufReader::new(std::fs::File::open(item_tag_path)?))?;
+    Ok(build_dataset(name, RawData { user_item: ui, item_tag: it }, filter))
+}
+
+/// Writes a dataset as two whitespace-separated dump files (`user item` and
+/// `item tag` pairs with a header line), the same shape [`load_dataset`]
+/// reads. Useful for exporting synthetic datasets to other tooling.
+pub fn save_dataset(
+    dataset: &crate::dataset::Dataset,
+    user_item_path: impl AsRef<Path>,
+    item_tag_path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut ui = std::io::BufWriter::new(std::fs::File::create(user_item_path)?);
+    writeln!(ui, "userID\titemID")?;
+    for (u, i, _) in dataset.user_item.forward().iter() {
+        writeln!(ui, "{u}\t{i}")?;
+    }
+    let mut it = std::io::BufWriter::new(std::fs::File::create(item_tag_path)?);
+    writeln!(it, "itemID\ttagID")?;
+    for (i, t, _) in dataset.item_tag.forward().iter() {
+        writeln!(it, "{i}\t{t}")?;
+    }
+    Ok(())
+}
+
+/// Indexes and filters raw edge lists into a [`Dataset`].
+pub fn build_dataset(name: &str, raw: RawData, filter: FilterConfig) -> Dataset {
+    let mut ui: Vec<(u64, u64)> = raw.user_item;
+    ui.sort_unstable();
+    ui.dedup();
+    let mut it: Vec<(u64, u64)> = raw.item_tag;
+    it.sort_unstable();
+    it.dedup();
+
+    // Iterative k-core on the user-item graph.
+    loop {
+        let mut udeg: HashMap<u64, usize> = HashMap::new();
+        let mut ideg: HashMap<u64, usize> = HashMap::new();
+        for &(u, i) in &ui {
+            *udeg.entry(u).or_default() += 1;
+            *ideg.entry(i).or_default() += 1;
+        }
+        let before = ui.len();
+        ui.retain(|&(u, i)| {
+            udeg[&u] >= filter.min_degree && ideg[&i] >= filter.min_degree
+        });
+        if ui.len() == before {
+            break;
+        }
+    }
+
+    // Keep tags on surviving items with enough coverage.
+    let surviving_items: std::collections::HashSet<u64> =
+        ui.iter().map(|&(_, i)| i).collect();
+    it.retain(|&(i, _)| surviving_items.contains(&i));
+    let mut tag_items: HashMap<u64, usize> = HashMap::new();
+    for &(_, t) in &it {
+        *tag_items.entry(t).or_default() += 1;
+    }
+    it.retain(|&(_, t)| tag_items[&t] >= filter.min_tag_items);
+
+    // Contiguous indexing.
+    let mut user_ids: Vec<u64> = ui.iter().map(|&(u, _)| u).collect();
+    user_ids.sort_unstable();
+    user_ids.dedup();
+    let mut item_ids: Vec<u64> = surviving_items.iter().copied().collect();
+    item_ids.sort_unstable();
+    let mut tag_ids: Vec<u64> = it.iter().map(|&(_, t)| t).collect();
+    tag_ids.sort_unstable();
+    tag_ids.dedup();
+
+    let uidx: HashMap<u64, u32> =
+        user_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
+    let iidx: HashMap<u64, u32> =
+        item_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
+    let tidx: HashMap<u64, u32> =
+        tag_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
+
+    let ui_triplets: Vec<(u32, u32, f32)> =
+        ui.iter().map(|&(u, i)| (uidx[&u], iidx[&i], 1.0)).collect();
+    let it_triplets: Vec<(u32, u32, f32)> =
+        it.iter().map(|&(i, t)| (iidx[&i], tidx[&t], 1.0)).collect();
+
+    let user_item = Csr::from_triplets(user_ids.len(), item_ids.len(), &ui_triplets);
+    let item_tag = Csr::from_triplets(item_ids.len(), tag_ids.len(), &it_triplets);
+    Dataset::new(name, user_item, item_tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_pairs_skips_headers_and_garbage() {
+        let input = "userID\titemID\n1 10\n2\t20\nbroken line here\n3 30 999\n";
+        let pairs = parse_pairs(Cursor::new(input)).unwrap();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn build_dataset_indexes_contiguously() {
+        let raw = RawData {
+            user_item: (0..4)
+                .flat_map(|u| (0..4).map(move |i| (u * 100, i * 7)))
+                .collect(),
+            item_tag: (0..4).flat_map(|i| (0..5).map(move |t| (i * 7, t))).collect(),
+        };
+        let filter = FilterConfig { min_degree: 2, min_tag_items: 2 };
+        let d = build_dataset("t", raw, filter);
+        assert_eq!(d.n_users(), 4);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.n_tags(), 5);
+        assert_eq!(d.user_item.n_edges(), 16);
+    }
+
+    #[test]
+    fn kcore_filter_removes_sparse_entities() {
+        // User 9 has a single interaction and must be dropped; dropping it
+        // leaves item 99 with zero interactions, which must cascade.
+        let mut ui: Vec<(u64, u64)> =
+            (0..5).flat_map(|u| (0..5).map(move |i| (u, i))).collect();
+        ui.push((9, 99));
+        let raw = RawData {
+            user_item: ui,
+            item_tag: (0..5).map(|i| (i, 0)).collect(),
+        };
+        let filter = FilterConfig { min_degree: 3, min_tag_items: 1 };
+        let d = build_dataset("t", raw, filter);
+        assert_eq!(d.n_users(), 5);
+        assert_eq!(d.n_items(), 5);
+    }
+
+    #[test]
+    fn rare_tags_removed() {
+        let raw = RawData {
+            user_item: (0..3).flat_map(|u| (0..3).map(move |i| (u, i))).collect(),
+            item_tag: vec![(0, 0), (1, 0), (2, 0), (0, 77)], // tag 77 appears once
+        };
+        let filter = FilterConfig { min_degree: 2, min_tag_items: 2 };
+        let d = build_dataset("t", raw, filter);
+        assert_eq!(d.n_tags(), 1);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let raw = RawData {
+            user_item: (0..4).flat_map(|u| (0..4).map(move |i| (u, i))).collect(),
+            item_tag: (0..4).flat_map(|i| (0..2).map(move |t| (i, t))).collect(),
+        };
+        let filter = FilterConfig { min_degree: 1, min_tag_items: 1 };
+        let d = build_dataset("rt", raw, filter);
+        let dir = std::env::temp_dir();
+        let ui = dir.join(format!("imcat_ui_{}.tsv", std::process::id()));
+        let it = dir.join(format!("imcat_it_{}.tsv", std::process::id()));
+        save_dataset(&d, &ui, &it).unwrap();
+        let loaded = load_dataset("rt2", &ui, &it, filter).unwrap();
+        assert_eq!(loaded.n_users(), d.n_users());
+        assert_eq!(loaded.n_items(), d.n_items());
+        assert_eq!(loaded.user_item.n_edges(), d.user_item.n_edges());
+        assert_eq!(loaded.item_tag.n_edges(), d.item_tag.n_edges());
+        std::fs::remove_file(ui).ok();
+        std::fs::remove_file(it).ok();
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let raw = RawData {
+            user_item: vec![(0, 0), (0, 0), (0, 1), (1, 0), (1, 1)],
+            item_tag: vec![(0, 0), (0, 0), (1, 0)],
+        };
+        let filter = FilterConfig { min_degree: 1, min_tag_items: 1 };
+        let d = build_dataset("t", raw, filter);
+        assert_eq!(d.user_item.n_edges(), 4);
+        assert_eq!(d.item_tag.n_edges(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Mini-batch samplers for the training objectives.
+//!
+//! * [`BprSampler`] draws `(user, positive, negative)` triplets for the BPR
+//!   losses `L_UV` (Eq. 1) and, via [`BprSampler::for_item_tags`], `L_VT`
+//!   (Eq. 2). As in §V-D, every positive is paired with one uniform negative.
+//! * [`ItemBatcher`] yields shuffled item-id batches for the per-item
+//!   contrastive alignment pass (Eqs. 11–13).
+
+use imcat_graph::Bipartite;
+use rand::Rng;
+
+use crate::dataset::SplitDataset;
+
+/// A batch of BPR training triplets.
+#[derive(Clone, Debug, Default)]
+pub struct BprBatch {
+    /// Anchor entities (users for `L_UV`, items for `L_VT`).
+    pub anchors: Vec<u32>,
+    /// Positive counterparts.
+    pub positives: Vec<u32>,
+    /// Uniformly drawn negatives (not interacted by the anchor).
+    pub negatives: Vec<u32>,
+}
+
+impl BprBatch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+}
+
+/// Uniform BPR triplet sampler over a bipartite interaction graph.
+#[derive(Clone, Debug)]
+pub struct BprSampler {
+    edges: Vec<(u32, u32)>,
+    graph: Bipartite,
+    n_cols: usize,
+}
+
+impl BprSampler {
+    /// Sampler over the training user→item interactions.
+    pub fn for_user_items(data: &SplitDataset) -> Self {
+        Self::from_bipartite(data.train.clone())
+    }
+
+    /// Sampler over the item→tag assignments (tag "recommendation", Eq. 2).
+    pub fn for_item_tags(data: &SplitDataset) -> Self {
+        Self::from_bipartite(data.item_tag.clone())
+    }
+
+    /// Sampler over any bipartite incidence.
+    pub fn from_bipartite(graph: Bipartite) -> Self {
+        let edges: Vec<(u32, u32)> =
+            graph.forward().iter().map(|(a, b, _)| (a, b)).collect();
+        let n_cols = graph.n_cols();
+        Self { edges, graph, n_cols }
+    }
+
+    /// Number of positive pairs available.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of batches forming one nominal epoch at `batch_size`.
+    pub fn batches_per_epoch(&self, batch_size: usize) -> usize {
+        self.edges.len().div_ceil(batch_size.max(1)).max(1)
+    }
+
+    /// Draws a batch of triplets with uniform negatives.
+    pub fn sample(&self, batch_size: usize, rng: &mut impl Rng) -> BprBatch {
+        assert!(!self.edges.is_empty(), "cannot sample from an empty graph");
+        assert!(self.n_cols >= 2, "need at least two candidate columns");
+        let mut batch = BprBatch {
+            anchors: Vec::with_capacity(batch_size),
+            positives: Vec::with_capacity(batch_size),
+            negatives: Vec::with_capacity(batch_size),
+        };
+        for _ in 0..batch_size {
+            let &(a, p) = &self.edges[rng.gen_range(0..self.edges.len())];
+            let neg = self.draw_negative(a, rng);
+            batch.anchors.push(a);
+            batch.positives.push(p);
+            batch.negatives.push(neg);
+        }
+        batch
+    }
+
+    fn draw_negative(&self, anchor: u32, rng: &mut impl Rng) -> u32 {
+        // Rejection sampling; falls back to accepting after enough misses
+        // (only reachable when an anchor interacted with nearly everything).
+        for _ in 0..64 {
+            let cand = rng.gen_range(0..self.n_cols) as u32;
+            if !self.graph.forward().contains(anchor as usize as u32, cand) {
+                return cand;
+            }
+        }
+        rng.gen_range(0..self.n_cols) as u32
+    }
+}
+
+/// Shuffled fixed-size item-id batches (one shuffle per epoch).
+#[derive(Clone, Debug)]
+pub struct ItemBatcher {
+    n_items: usize,
+    batch_size: usize,
+}
+
+impl ItemBatcher {
+    /// Creates a batcher over `n_items` ids.
+    pub fn new(n_items: usize, batch_size: usize) -> Self {
+        assert!(batch_size >= 2, "contrastive batches need at least 2 items");
+        Self { n_items, batch_size }
+    }
+
+    /// Produces the batches of one epoch in random order.
+    pub fn epoch(&self, rng: &mut impl Rng) -> Vec<Vec<u32>> {
+        let mut ids: Vec<u32> = (0..self.n_items as u32).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        ids.chunks(self.batch_size)
+            .filter(|c| c.len() >= 2) // a singleton batch has no negatives
+            .map(<[u32]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use imcat_tensor::Csr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_split() -> SplitDataset {
+        let ui = Csr::from_adjacency(
+            4,
+            12,
+            &[
+                (0..8).collect(),
+                (2..10).collect(),
+                vec![0, 5, 10, 11],
+                (4..12).collect(),
+            ],
+        );
+        let it =
+            Csr::from_adjacency(12, 3, &(0..12).map(|i| vec![i % 3]).collect::<Vec<_>>());
+        let d = Dataset::new("toy", ui, it);
+        let mut rng = StdRng::seed_from_u64(0);
+        d.split((0.7, 0.1, 0.2), &mut rng)
+    }
+
+    #[test]
+    fn bpr_negatives_are_not_positives() {
+        let s = toy_split();
+        let sampler = BprSampler::for_user_items(&s);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let b = sampler.sample(32, &mut rng);
+            assert_eq!(b.len(), 32);
+            for i in 0..b.len() {
+                let u = b.anchors[i];
+                assert!(s.train.forward().contains(u, b.positives[i]));
+                assert!(!s.train.forward().contains(u, b.negatives[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn item_tag_sampler_uses_tags() {
+        let s = toy_split();
+        let sampler = BprSampler::for_item_tags(&s);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = sampler.sample(16, &mut rng);
+        for i in 0..b.len() {
+            assert!(b.positives[i] < 3);
+            assert!(b.negatives[i] < 3);
+            assert!(s.item_tag.forward().contains(b.anchors[i], b.positives[i]));
+        }
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let s = toy_split();
+        let sampler = BprSampler::for_user_items(&s);
+        let e = sampler.n_edges();
+        assert_eq!(sampler.batches_per_epoch(e), 1);
+        assert_eq!(sampler.batches_per_epoch(e - 1), 2);
+    }
+
+    #[test]
+    fn item_batcher_covers_all_items_once() {
+        let b = ItemBatcher::new(10, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = b.epoch(&mut rng);
+        let mut seen: Vec<u32> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
+        assert!(batches.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn item_batcher_drops_singleton_tail() {
+        let b = ItemBatcher::new(9, 4); // 4 + 4 + 1 -> tail dropped
+        let mut rng = StdRng::seed_from_u64(4);
+        let batches = b.epoch(&mut rng);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for dataset splitting and sampling invariants.
+
+use imcat_data::{BprSampler, Dataset, ItemBatcher};
+use imcat_tensor::Csr;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_dataset(
+    users: usize,
+    items: usize,
+    tags: usize,
+) -> impl Strategy<Value = Dataset> {
+    let ui = proptest::collection::vec(
+        proptest::collection::btree_set(0..items as u32, 1..items.min(10)),
+        users,
+    );
+    let it = proptest::collection::vec(
+        proptest::collection::btree_set(0..tags as u32, 1..tags.min(4)),
+        items,
+    );
+    (ui, it).prop_map(move |(ui, it)| {
+        let ui: Vec<Vec<u32>> = ui.into_iter().map(|s| s.into_iter().collect()).collect();
+        let it: Vec<Vec<u32>> = it.into_iter().map(|s| s.into_iter().collect()).collect();
+        Dataset::new(
+            "prop",
+            Csr::from_adjacency(users, items, &ui),
+            Csr::from_adjacency(items, tags, &it),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The split must partition every user's items exactly.
+    #[test]
+    fn split_partitions_interactions(data in random_dataset(8, 14, 5), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = data.split((0.7, 0.1, 0.2), &mut rng);
+        for u in 0..data.n_users() {
+            let mut all: Vec<u32> = s.train_items(u).to_vec();
+            all.extend(&s.val[u]);
+            all.extend(&s.test[u]);
+            all.sort_unstable();
+            let mut expected: Vec<u32> = data.user_item.forward().row_indices(u).to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(all, expected);
+            // No leakage between train and test.
+            for t in &s.test[u] {
+                prop_assert!(!s.train_items(u).contains(t));
+            }
+            // Users with >= 2 interactions keep train and test non-empty.
+            if data.user_item.forward().row_nnz(u) >= 2 {
+                prop_assert!(!s.train_items(u).is_empty());
+                prop_assert!(!s.test[u].is_empty());
+            }
+        }
+    }
+
+    /// BPR samples: positives observed, negatives unobserved.
+    #[test]
+    fn bpr_samples_respect_interactions(data in random_dataset(8, 14, 5), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = data.split((0.7, 0.1, 0.2), &mut rng);
+        let sampler = BprSampler::for_user_items(&s);
+        let batch = sampler.sample(64, &mut rng);
+        for i in 0..batch.len() {
+            prop_assert!(s.train.forward().contains(batch.anchors[i], batch.positives[i]));
+            prop_assert!(!s.train.forward().contains(batch.anchors[i], batch.negatives[i]));
+        }
+    }
+
+    /// Item batches cover each item exactly once per epoch (minus a possible
+    /// dropped singleton tail).
+    #[test]
+    fn item_batches_partition_items(n_items in 4usize..60, batch in 2usize..16, seed in 0u64..1000) {
+        let b = ItemBatcher::new(n_items, batch);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches = b.epoch(&mut rng);
+        let mut seen: Vec<u32> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), batches.iter().map(Vec::len).sum::<usize>());
+        prop_assert!(n_items - seen.len() <= 1); // at most the dropped singleton
+    }
+
+    /// Dataset statistics are internally consistent.
+    #[test]
+    fn stats_consistent(data in random_dataset(6, 10, 4)) {
+        let s = data.stats();
+        prop_assert_eq!(s.n_ui, data.user_item.n_edges());
+        prop_assert!((s.ui_density - s.n_ui as f64 / (s.n_users * s.n_items) as f64).abs() < 1e-12);
+        prop_assert!((s.ui_avg_degree - s.n_ui as f64 / s.n_users as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Extended ranking metrics beyond the paper's Recall/NDCG: Precision@N,
+//! Hit-Rate@N, MAP@N, MRR@N, catalogue coverage, and tag-based intra-list
+//! diversity (the paper's introduction motivates IMCAT with "accurate and
+//! diverse recommendation services"; these metrics let users quantify the
+//! diversity side).
+
+use imcat_data::SplitDataset;
+use imcat_graph::jaccard_sorted;
+use imcat_tensor::Tensor;
+
+use crate::metrics::{top_n_masked, EvalTarget};
+
+/// A bundle of ranking metrics at one cutoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExtendedMetrics {
+    /// Mean Recall@N.
+    pub recall: f64,
+    /// Mean Precision@N.
+    pub precision: f64,
+    /// Fraction of users with at least one hit in the top N.
+    pub hit_rate: f64,
+    /// Mean average precision truncated at N.
+    pub map: f64,
+    /// Mean reciprocal rank of the first hit (0 when no hit in top N).
+    pub mrr: f64,
+    /// Fraction of the item catalogue recommended to at least one user.
+    pub coverage: f64,
+    /// Mean pairwise tag-set dissimilarity (1 - Jaccard) inside each top-N
+    /// list; higher = more diverse recommendations.
+    pub intra_list_diversity: f64,
+    /// Users evaluated.
+    pub n_users: usize,
+}
+
+/// Computes [`ExtendedMetrics`] over all users with a non-empty target set.
+pub fn evaluate_extended(
+    score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
+    data: &SplitDataset,
+    n: usize,
+    target: EvalTarget,
+) -> ExtendedMetrics {
+    let users: Vec<u32> = (0..data.n_users() as u32)
+        .filter(|&u| {
+            let held = match target {
+                EvalTarget::Validation => &data.val[u as usize],
+                EvalTarget::Test => &data.test[u as usize],
+            };
+            !held.is_empty()
+        })
+        .collect();
+    if users.is_empty() {
+        return ExtendedMetrics::default();
+    }
+    let mut out = ExtendedMetrics { n_users: users.len(), ..Default::default() };
+    let mut recommended = vec![false; data.n_items()];
+    for chunk in users.chunks(256) {
+        let scores = score_fn(chunk);
+        for (row, &u) in chunk.iter().enumerate() {
+            let train = data.train_items(u as usize);
+            let top = top_n_masked(scores.row(row), train, n);
+            let truth = match target {
+                EvalTarget::Validation => &data.val[u as usize],
+                EvalTarget::Test => &data.test[u as usize],
+            };
+            let mut hits = 0usize;
+            let mut ap = 0.0f64;
+            let mut first_hit_rank: Option<usize> = None;
+            for (rank, j) in top.iter().enumerate() {
+                recommended[*j as usize] = true;
+                if truth.contains(j) {
+                    hits += 1;
+                    ap += hits as f64 / (rank + 1) as f64;
+                    first_hit_rank.get_or_insert(rank);
+                }
+            }
+            out.recall += hits as f64 / truth.len() as f64;
+            out.precision += hits as f64 / n.max(1) as f64;
+            out.hit_rate += if hits > 0 { 1.0 } else { 0.0 };
+            out.map += if truth.is_empty() {
+                0.0
+            } else {
+                ap / truth.len().min(n) as f64
+            };
+            out.mrr += first_hit_rank.map_or(0.0, |r| 1.0 / (r + 1) as f64);
+            out.intra_list_diversity += intra_list_diversity(data, &top);
+        }
+    }
+    let nf = users.len() as f64;
+    out.recall /= nf;
+    out.precision /= nf;
+    out.hit_rate /= nf;
+    out.map /= nf;
+    out.mrr /= nf;
+    out.intra_list_diversity /= nf;
+    out.coverage = recommended.iter().filter(|&&b| b).count() as f64
+        / data.n_items().max(1) as f64;
+    out
+}
+
+/// Mean pairwise `1 - Jaccard(tags_i, tags_j)` over a recommendation list
+/// (1.0 for lists of < 2 items, the maximally-diverse degenerate case).
+pub fn intra_list_diversity(data: &SplitDataset, items: &[u32]) -> f64 {
+    if items.len() < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for (i, &a) in items.iter().enumerate() {
+        for &b in &items[i + 1..] {
+            let ta = data.item_tag.forward().row_indices(a as usize);
+            let tb = data.item_tag.forward().row_indices(b as usize);
+            total += 1.0 - jaccard_sorted(ta, tb) as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcat_data::Dataset;
+    use imcat_tensor::Csr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixed_split() -> SplitDataset {
+        let ui = Csr::from_adjacency(2, 12, &[(0..12).collect(), (0..12).collect()]);
+        let it = Csr::from_adjacency(
+            12,
+            4,
+            &(0..12).map(|i| vec![(i % 4) as u32]).collect::<Vec<_>>(),
+        );
+        let d = Dataset::new("ext", ui, it);
+        let mut rng = StdRng::seed_from_u64(3);
+        d.split((0.7, 0.1, 0.2), &mut rng)
+    }
+
+    #[test]
+    fn perfect_ranking_maximizes_everything() {
+        let data = fixed_split();
+        let t0 = data.test[0].clone();
+        let t1 = data.test[1].clone();
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 12);
+            for (r, &u) in users.iter().enumerate() {
+                let truth = if u == 0 { &t0 } else { &t1 };
+                for &j in truth {
+                    t.set(r, j as usize, 10.0);
+                }
+            }
+            t
+        };
+        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        assert!((m.recall - 1.0).abs() < 1e-9);
+        assert!((m.hit_rate - 1.0).abs() < 1e-9);
+        assert!((m.map - 1.0).abs() < 1e-9);
+        assert!((m.mrr - 1.0).abs() < 1e-9);
+        assert!(m.precision > 0.0);
+    }
+
+    #[test]
+    fn zero_scores_still_bounded() {
+        let data = fixed_split();
+        let mut score_fn = |users: &[u32]| Tensor::zeros(users.len(), 12);
+        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        for v in [m.recall, m.precision, m.hit_rate, m.map, m.mrr, m.coverage] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn diversity_distinguishes_lists() {
+        let data = fixed_split();
+        // Items 0, 4, 8 share tag 0 -> zero diversity among themselves.
+        let same = intra_list_diversity(&data, &[0, 4, 8]);
+        // Items 0, 1, 2 have distinct tags -> full diversity.
+        let diff = intra_list_diversity(&data, &[0, 1, 2]);
+        assert!(same < 1e-9);
+        assert!((diff - 1.0).abs() < 1e-9);
+        assert_eq!(intra_list_diversity(&data, &[3]), 1.0);
+    }
+
+    #[test]
+    fn coverage_counts_unique_recommendations() {
+        let data = fixed_split();
+        // Every user gets the same 5 items -> coverage 5/12.
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 12);
+            for r in 0..users.len() {
+                for j in 0..5 {
+                    t.set(r, j, (10 - j) as f32);
+                }
+            }
+            t
+        };
+        // Mask nothing by evaluating against validation users with empty
+        // training overlap is complicated; just check bounds + rough value.
+        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        assert!(m.coverage <= 1.0 && m.coverage > 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Ranking metrics: Recall@N and NDCG@N under the paper's protocol (§V-B):
+//! full ranking over all items with the user's training items masked out.
+
+use imcat_data::SplitDataset;
+use imcat_tensor::Tensor;
+
+/// Which held-out set to evaluate against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalTarget {
+    /// The validation split (used for early stopping / tuning).
+    Validation,
+    /// The test split (used for reported numbers).
+    Test,
+}
+
+/// Aggregate metrics over a user population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// Mean Recall@N.
+    pub recall: f64,
+    /// Mean NDCG@N.
+    pub ndcg: f64,
+    /// Number of users evaluated.
+    pub n_users: usize,
+}
+
+/// Per-user metric detail, used for paired significance tests.
+#[derive(Clone, Debug, Default)]
+pub struct PerUserMetrics {
+    /// Evaluated user ids (users with a non-empty target set).
+    pub users: Vec<u32>,
+    /// Recall@N per user, parallel to `users`.
+    pub recall: Vec<f64>,
+    /// NDCG@N per user, parallel to `users`.
+    pub ndcg: Vec<f64>,
+}
+
+impl PerUserMetrics {
+    /// Aggregates into means.
+    pub fn aggregate(&self) -> RankingMetrics {
+        let n = self.users.len();
+        if n == 0 {
+            return RankingMetrics::default();
+        }
+        RankingMetrics {
+            recall: self.recall.iter().sum::<f64>() / n as f64,
+            ndcg: self.ndcg.iter().sum::<f64>() / n as f64,
+            n_users: n,
+        }
+    }
+}
+
+fn held_out(data: &SplitDataset, target: EvalTarget, u: usize) -> &[u32] {
+    match target {
+        EvalTarget::Validation => &data.val[u],
+        EvalTarget::Test => &data.test[u],
+    }
+}
+
+/// The top-`n` unmasked item indices of one score row.
+pub fn top_n_masked(scores: &[f32], mask: &[u32], n: usize) -> Vec<u32> {
+    let mut ranked: Vec<(u32, f32)> = scores
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(j, s)| (j as u32, s))
+        .filter(|(j, _)| mask.binary_search(j).is_err())
+        .collect();
+    // Partial selection then exact ordering of the head.
+    let n = n.min(ranked.len());
+    ranked.select_nth_unstable_by(n.saturating_sub(1), |a, b| {
+        b.1.partial_cmp(&a.1).unwrap()
+    });
+    ranked.truncate(n);
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.into_iter().map(|(j, _)| j).collect()
+}
+
+/// Per-user Recall@N and NDCG@N for every user with a non-empty target set.
+///
+/// `score_fn(users)` must return `[users.len(), n_items]` relevance scores.
+/// Users are scored in chunks to bound peak memory.
+pub fn evaluate_per_user(
+    score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
+    data: &SplitDataset,
+    n: usize,
+    target: EvalTarget,
+) -> PerUserMetrics {
+    let users: Vec<u32> = (0..data.n_users() as u32)
+        .filter(|&u| !held_out(data, target, u as usize).is_empty())
+        .collect();
+    let mut out = PerUserMetrics::default();
+    for chunk in users.chunks(256) {
+        let scores = score_fn(chunk);
+        assert_eq!(scores.rows(), chunk.len());
+        for (row, &u) in chunk.iter().enumerate() {
+            let train = data.train_items(u as usize);
+            let top = top_n_masked(scores.row(row), train, n);
+            let truth = held_out(data, target, u as usize);
+            let hits: Vec<usize> = top
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| truth.contains(j))
+                .map(|(rank, _)| rank)
+                .collect();
+            let recall = hits.len() as f64 / truth.len() as f64;
+            let dcg: f64 =
+                hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
+            let ideal: f64 = (0..truth.len().min(n))
+                .map(|r| 1.0 / ((r + 2) as f64).log2())
+                .sum();
+            let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
+            out.users.push(u);
+            out.recall.push(recall);
+            out.ndcg.push(ndcg);
+        }
+    }
+    out
+}
+
+/// Aggregate Recall@N / NDCG@N.
+pub fn evaluate(
+    score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
+    data: &SplitDataset,
+    n: usize,
+    target: EvalTarget,
+) -> RankingMetrics {
+    evaluate_per_user(score_fn, data, n, target).aggregate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcat_data::Dataset;
+    use imcat_tensor::Csr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// One user, ten items; items 0..7 in train-candidates, test = {3, 5}.
+    fn fixed_split() -> SplitDataset {
+        let ui = Csr::from_adjacency(1, 10, &[(0..10).collect()]);
+        let it = Csr::from_adjacency(10, 2, &(0..10).map(|i| vec![i % 2]).collect::<Vec<_>>());
+        let d = Dataset::new("fixed", ui, it);
+        let mut rng = StdRng::seed_from_u64(0);
+        d.split((0.7, 0.1, 0.2), &mut rng)
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_metrics() {
+        let data = fixed_split();
+        let test_items = data.test[0].clone();
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 10);
+            for r in 0..users.len() {
+                for &j in &test_items {
+                    t.set(r, j as usize, 10.0);
+                }
+            }
+            t
+        };
+        let m = evaluate(&mut score_fn, &data, 5, EvalTarget::Test);
+        assert!((m.recall - 1.0).abs() < 1e-9);
+        assert!((m.ndcg - 1.0).abs() < 1e-9);
+        assert_eq!(m.n_users, 1);
+    }
+
+    #[test]
+    fn training_items_are_masked() {
+        let data = fixed_split();
+        let train = data.train_items(0).to_vec();
+        // Give training items the highest scores; they must be excluded, so
+        // recall depends only on the remaining ranking.
+        let score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 10);
+            for r in 0..users.len() {
+                for &j in &train {
+                    t.set(r, j as usize, 100.0);
+                }
+            }
+            t
+        };
+        let top = {
+            let s = score_fn(&[0]);
+            top_n_masked(s.row(0), &train, 5)
+        };
+        for j in &top {
+            assert!(!train.contains(j), "masked item {j} leaked into ranking");
+        }
+    }
+
+    #[test]
+    fn worst_scores_give_zero_recall() {
+        let data = fixed_split();
+        let test_items = data.test[0].clone();
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 10);
+            for r in 0..users.len() {
+                for &j in &test_items {
+                    t.set(r, j as usize, -10.0);
+                }
+            }
+            t
+        };
+        // Only `n` below (candidates - test size) can exclude the test items.
+        let m = evaluate(&mut score_fn, &data, 1, EvalTarget::Test);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_hits() {
+        let data = fixed_split();
+        let test_items = data.test[0].clone();
+        let t0 = test_items[0] as usize;
+        // Hit at rank 1 vs hit at a later rank.
+        let mut early = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 10);
+            t.set(0, t0, 5.0);
+            t
+        };
+        let mut late = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 10);
+            t.set(0, t0, 0.001); // barely above the zeros, ties broken by order
+            for j in 0..10 {
+                if j != t0 && !data.train_items(0).contains(&(j as u32)) {
+                    t.set(0, j, 0.01);
+                }
+            }
+            t
+        };
+        let m_early = evaluate(&mut early, &data, 8, EvalTarget::Test);
+        let m_late = evaluate(&mut late, &data, 8, EvalTarget::Test);
+        assert!(m_early.ndcg > m_late.ndcg);
+    }
+
+    #[test]
+    fn top_n_masked_orders_descending() {
+        let scores = vec![0.1, 0.9, 0.5, 0.7, 0.3];
+        let top = top_n_masked(&scores, &[], 3);
+        assert_eq!(top, vec![1, 3, 2]);
+        let masked = top_n_masked(&scores, &[1, 3], 3);
+        assert_eq!(masked, vec![2, 4, 0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Statistics for experiment reporting: mean/std summaries and the paired
+//! t-test used in the paper's Table II ("statistical significance for
+//! p ≤ 0.01 compared to the best baseline, paired t-test").
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTest {
+    /// The t statistic (positive when `a` beats `b` on average).
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: usize,
+    /// Two-tailed p-value.
+    pub p: f64,
+}
+
+/// Paired two-tailed t-test between samples `a` and `b` (same length).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert_eq!(a.len(), b.len(), "paired t-test needs equal-length samples");
+    assert!(a.len() >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let m = mean(&diffs);
+    let s = std_dev(&diffs);
+    let n = diffs.len() as f64;
+    let df = diffs.len() - 1;
+    if s == 0.0 {
+        // All differences identical: degenerate but well-defined outcomes.
+        let p = if m == 0.0 { 1.0 } else { 0.0 };
+        return TTest { t: if m == 0.0 { 0.0 } else { f64::INFINITY * m.signum() }, df, p };
+    }
+    let t = m / (s / n.sqrt());
+    TTest { t, df, p: two_tailed_p(t, df as f64) }
+}
+
+/// Two-tailed p-value of a t statistic via the regularized incomplete beta
+/// function: `p = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn two_tailed_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    incomplete_beta(0.5 * df, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` (Numerical Recipes continued
+/// fraction).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138_089_935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(π).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v1 = incomplete_beta(2.0, 3.0, 0.3);
+        let v2 = 1.0 - incomplete_beta(3.0, 2.0, 0.7);
+        assert!((v1 - v2).abs() < 1e-10);
+        // I_0.5(a,a) = 0.5.
+        assert!((incomplete_beta(4.0, 4.0, 0.5) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_test_p_values_match_tables() {
+        // t = 2.262 at df = 9 is the classic two-tailed 0.05 critical value.
+        let p = two_tailed_p(2.262, 9.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // Large |t| → tiny p.
+        assert!(two_tailed_p(10.0, 9.0) < 1e-4);
+        // t = 0 → p = 1.
+        assert!((two_tailed_p(0.0, 9.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_improvement() {
+        let a = [0.52, 0.55, 0.51, 0.58, 0.54, 0.56];
+        let b = [0.48, 0.50, 0.47, 0.52, 0.49, 0.51];
+        let r = paired_t_test(&a, &b);
+        assert!(r.t > 0.0);
+        assert!(r.p < 0.01, "p = {}", r.p);
+    }
+
+    #[test]
+    fn paired_test_identical_samples() {
+        let a = [0.5, 0.6, 0.7];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p, 1.0);
+    }
+
+    #[test]
+    fn paired_test_noise_is_insignificant() {
+        let a = [0.50, 0.52, 0.48, 0.51, 0.49];
+        let b = [0.51, 0.49, 0.50, 0.50, 0.50];
+        let r = paired_t_test(&a, &b);
+        assert!(r.p > 0.1, "noise flagged significant: p = {}", r.p);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for metric invariants.
+
+use imcat_data::{Dataset, SplitDataset};
+use imcat_eval::{evaluate, paired_t_test, top_n_masked, EvalTarget};
+use imcat_tensor::{Csr, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_split(seed: u64, users: usize, items: usize) -> SplitDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let adj: Vec<Vec<u32>> = (0..users)
+        .map(|u| {
+            let mut v: Vec<u32> = (0..items as u32)
+                .filter(|i| !(u as u32 * 31 + i * 17 + seed as u32).is_multiple_of(3))
+                .collect();
+            v.truncate(10.max(2));
+            v
+        })
+        .collect();
+    let it: Vec<Vec<u32>> = (0..items).map(|i| vec![(i % 3) as u32]).collect();
+    let data = Dataset::new(
+        "prop",
+        Csr::from_adjacency(users, items, &adj),
+        Csr::from_adjacency(items, 3, &it),
+    );
+    data.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Metrics live in [0, 1] for arbitrary score matrices.
+    #[test]
+    fn metrics_bounded(seed in 0u64..500, n in 1usize..30) {
+        let split = random_split(seed, 6, 20);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = imcat_tensor::normal(6, 20, 1.0, &mut rng);
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 20);
+            for (r, &u) in users.iter().enumerate() {
+                t.row_mut(r).copy_from_slice(table.row(u as usize));
+            }
+            t
+        };
+        let m = evaluate(&mut score_fn, &split, n, EvalTarget::Test);
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.ndcg));
+    }
+
+    /// Recall@N is monotonically non-decreasing in N.
+    #[test]
+    fn recall_monotone_in_n(seed in 0u64..500) {
+        let split = random_split(seed, 6, 20);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let table = imcat_tensor::normal(6, 20, 1.0, &mut rng);
+        let mut score_fn = |users: &[u32]| {
+            let mut t = Tensor::zeros(users.len(), 20);
+            for (r, &u) in users.iter().enumerate() {
+                t.row_mut(r).copy_from_slice(table.row(u as usize));
+            }
+            t
+        };
+        let mut last = 0.0;
+        for n in [1usize, 5, 10, 20] {
+            let m = evaluate(&mut score_fn, &split, n, EvalTarget::Test);
+            prop_assert!(m.recall >= last - 1e-12, "recall not monotone in N");
+            last = m.recall;
+        }
+    }
+
+    /// top_n_masked returns distinct, unmasked indices in descending score order.
+    #[test]
+    fn top_n_masked_invariants(
+        scores in proptest::collection::vec(-10.0f32..10.0, 5..30),
+        n in 1usize..10,
+    ) {
+        let mask: Vec<u32> = (0..scores.len() as u32).filter(|i| i % 4 == 0).collect();
+        let top = top_n_masked(&scores, &mask, n);
+        prop_assert!(top.len() <= n);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = f32::INFINITY;
+        for &j in &top {
+            prop_assert!(mask.binary_search(&j).is_err(), "masked item leaked");
+            prop_assert!(seen.insert(j), "duplicate item in ranking");
+            prop_assert!(scores[j as usize] <= last + 1e-6, "not descending");
+            last = scores[j as usize];
+        }
+    }
+
+    /// t-test symmetry: swapping the samples negates t and keeps p.
+    #[test]
+    fn t_test_antisymmetric(
+        diffs in proptest::collection::vec(-0.5f64..0.5, 3..20),
+    ) {
+        let a: Vec<f64> = diffs.iter().map(|d| 0.5 + d).collect();
+        let b = vec![0.5; a.len()];
+        let fwd = paired_t_test(&a, &b);
+        let rev = paired_t_test(&b, &a);
+        if fwd.t.is_finite() {
+            prop_assert!((fwd.t + rev.t).abs() < 1e-9);
+            prop_assert!((fwd.p - rev.p).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&fwd.p));
+        }
+    }
+}

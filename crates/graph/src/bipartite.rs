@@ -1,0 +1,274 @@
+//! Bipartite interaction graphs.
+//!
+//! Wraps the raw CSR matrices (`Y` user–item and `Y'` item–tag from §III-A of
+//! the paper) with the derived structures every model needs: transposes,
+//! degree statistics, mean-aggregation operators, and the joint normalized
+//! adjacency used by LightGCN-style propagation.
+
+use imcat_tensor::Csr;
+
+/// A user–item (or item–tag) interaction graph with its transpose cached.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    forward: Csr,
+    backward: Csr,
+}
+
+impl Bipartite {
+    /// Builds from a forward CSR (`rows -> cols` incidence).
+    pub fn new(forward: Csr) -> Self {
+        let backward = forward.transpose();
+        Self { forward, backward }
+    }
+
+    /// Rows → cols incidence (e.g. user → items).
+    pub fn forward(&self) -> &Csr {
+        &self.forward
+    }
+
+    /// Cols → rows incidence (e.g. item → users).
+    pub fn backward(&self) -> &Csr {
+        &self.backward
+    }
+
+    /// Number of row entities.
+    pub fn n_rows(&self) -> usize {
+        self.forward.rows()
+    }
+
+    /// Number of column entities.
+    pub fn n_cols(&self) -> usize {
+        self.forward.cols()
+    }
+
+    /// Number of interactions.
+    pub fn n_edges(&self) -> usize {
+        self.forward.nnz()
+    }
+
+    /// Density of the incidence matrix in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        let cells = self.n_rows() as f64 * self.n_cols() as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / cells
+        }
+    }
+
+    /// Average row degree (paper's "#Avg. degree" in Table I).
+    pub fn avg_row_degree(&self) -> f64 {
+        if self.n_rows() == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n_rows() as f64
+        }
+    }
+
+    /// Degrees of row entities.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        self.forward.degrees()
+    }
+
+    /// Degrees of column entities.
+    pub fn col_degrees(&self) -> Vec<usize> {
+        self.backward.degrees()
+    }
+
+    /// Mean-aggregation operator over columns: multiplying the returned CSR
+    /// (`cols x rows`) by a row-entity embedding matrix yields, for each
+    /// column entity, the average embedding of its incident row entities.
+    ///
+    /// With `forward = Y` (user→item) this is the user aggregation of Eq. 7.
+    pub fn col_mean_aggregator(&self) -> Csr {
+        self.backward.row_normalized()
+    }
+
+    /// Mean-aggregation operator over rows (`rows x cols`): averages the
+    /// embeddings of each row entity's incident column entities.
+    pub fn row_mean_aggregator(&self) -> Csr {
+        self.forward.row_normalized()
+    }
+}
+
+/// Symmetrically normalized joint adjacency over `n_rows + n_cols` nodes:
+/// `Â = D^{-1/2} A D^{-1/2}` with `A = [[0, Y], [Yᵀ, 0]]` (LightGCN, SGL).
+pub fn joint_normalized_adjacency(g: &Bipartite) -> Csr {
+    let (nu, nv) = (g.n_rows(), g.n_cols());
+    let n = nu + nv;
+    let row_deg: Vec<f32> = g.row_degrees().iter().map(|&d| d as f32).collect();
+    let col_deg: Vec<f32> = g.col_degrees().iter().map(|&d| d as f32).collect();
+    let mut triplets = Vec::with_capacity(2 * g.n_edges());
+    for (u, v, w) in g.forward().iter() {
+        let du = row_deg[u as usize].max(1.0).sqrt();
+        let dv = col_deg[v as usize].max(1.0).sqrt();
+        let val = w / (du * dv);
+        triplets.push((u, nu as u32 + v, val));
+        triplets.push((nu as u32 + v, u, val));
+    }
+    Csr::from_triplets(n, n, &triplets)
+}
+
+/// Gini coefficient of a degree distribution — quantifies the long tail the
+/// paper's Fig. 7 analyses (0 = perfectly uniform, → 1 = all interactions on
+/// one entity).
+pub fn gini_coefficient(degrees: &[usize]) -> f64 {
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Log-2-bucketed degree histogram: `result[b]` counts entities with degree
+/// in `[2^b, 2^(b+1))` (degree 0 lands in its own leading bucket).
+pub fn degree_histogram(degrees: &[usize]) -> Vec<usize> {
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let buckets = if max == 0 { 1 } else { (max as f64).log2() as usize + 2 };
+    let mut hist = vec![0usize; buckets];
+    for &d in degrees {
+        let b = if d == 0 { 0 } else { (d as f64).log2() as usize + 1 };
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Splits all column entities (items) into `n_groups` equal-size groups by
+/// ascending degree, as in the long-tail analysis of the paper's Fig. 7.
+/// Returns per-item group ids in `0..n_groups`.
+pub fn degree_groups(degrees: &[usize], n_groups: usize) -> Vec<usize> {
+    assert!(n_groups > 0);
+    let mut order: Vec<usize> = (0..degrees.len()).collect();
+    order.sort_by_key(|&i| (degrees[i], i));
+    let mut groups = vec![0usize; degrees.len()];
+    let per = degrees.len().div_ceil(n_groups);
+    for (rank, &i) in order.iter().enumerate() {
+        groups[i] = (rank / per).min(n_groups - 1);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Bipartite {
+        // 3 users x 4 items
+        // u0: {0, 1}; u1: {1, 2, 3}; u2: {3}
+        Bipartite::new(Csr::from_adjacency(3, 4, &[vec![0, 1], vec![1, 2, 3], vec![3]]))
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let g = toy();
+        assert_eq!(g.n_rows(), 3);
+        assert_eq!(g.n_cols(), 4);
+        assert_eq!(g.n_edges(), 6);
+        assert!((g.density() - 0.5).abs() < 1e-9);
+        assert!((g.avg_row_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_both_sides() {
+        let g = toy();
+        assert_eq!(g.row_degrees(), vec![2, 3, 1]);
+        assert_eq!(g.col_degrees(), vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn col_mean_aggregator_averages() {
+        let g = toy();
+        let agg = g.col_mean_aggregator();
+        // Item 1 was interacted by users {0, 1}: weights 0.5 each.
+        assert_eq!(agg.row_indices(1), &[0, 1]);
+        assert_eq!(agg.row_values(1), &[0.5, 0.5]);
+        // Item 0 only by user 0.
+        assert_eq!(agg.row_values(0), &[1.0]);
+    }
+
+    #[test]
+    fn joint_adjacency_is_symmetric_and_normalized() {
+        let g = toy();
+        let adj = joint_normalized_adjacency(&g);
+        assert_eq!(adj.rows(), 7);
+        // Edge u0 - item1 (node 3+1=4): value 1/sqrt(2*2) = 0.5.
+        assert!(adj.contains(0, 4));
+        assert!(adj.contains(4, 0));
+        let v = adj
+            .iter()
+            .find(|&(r, c, _)| r == 0 && c == 4)
+            .map(|(_, _, v)| v)
+            .unwrap();
+        assert!((v - 0.5).abs() < 1e-6);
+        // Symmetry of every entry.
+        for (r, c, v) in adj.iter() {
+            let back = adj
+                .iter()
+                .find(|&(r2, c2, _)| r2 == c && c2 == r)
+                .map(|(_, _, v2)| v2)
+                .unwrap();
+            assert!((v - back).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degree_groups_equal_sizes() {
+        let degs = vec![5, 1, 9, 2, 7, 3, 8, 4, 6, 0];
+        let groups = degree_groups(&degs, 5);
+        let mut counts = [0usize; 5];
+        for &g in &groups {
+            counts[g] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2, 2]);
+        // The two smallest degrees (0 and 1) land in group 0.
+        assert_eq!(groups[9], 0);
+        assert_eq!(groups[1], 0);
+        // The two largest (9 and 8) land in group 4.
+        assert_eq!(groups[2], 4);
+        assert_eq!(groups[6], 4);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        // Uniform distribution: gini = 0.
+        assert!(gini_coefficient(&[5, 5, 5, 5]).abs() < 1e-9);
+        // Fully concentrated: gini -> (n-1)/n.
+        let g = gini_coefficient(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-9, "g = {g}");
+        // Empty and all-zero are defined as 0.
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_orders_by_inequality() {
+        let even = gini_coefficient(&[10, 11, 9, 10]);
+        let skewed = gini_coefficient(&[1, 2, 3, 34]);
+        assert!(skewed > even);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram(&[0, 1, 1, 2, 3, 4, 8, 9]);
+        // bucket 0: degree 0 (1 entity); bucket 1: degree 1 (2);
+        // bucket 2: degrees 2-3 (2); bucket 3: 4-7 (1); bucket 4: 8-15 (2).
+        assert_eq!(h, vec![1, 2, 2, 1, 2]);
+        assert_eq!(degree_histogram(&[]), vec![0]);
+    }
+
+    #[test]
+    fn degree_groups_uneven_lengths() {
+        let degs = vec![3, 1, 2];
+        let groups = degree_groups(&degs, 2);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|&g| g < 2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-intent Jaccard similarity between items' tag sets (paper Eq. 15) and
+//! similar-set extraction for the ISA module (§IV-C).
+//!
+//! `s_{j,j'}^k = |T^k(v_j) ∩ T^k(v_{j'})| / |T^k(v_j) ∪ T^k(v_{j'})|` where
+//! `T^k(v_j)` is the set of tags of item `j` falling in tag cluster `k`.
+//! Computation goes through an inverted tag → items index so only item pairs
+//! that actually share a tag are ever scored.
+
+use imcat_tensor::Csr;
+
+/// Tag sets of every item restricted to one cluster: `sets[j]` holds the
+/// sorted tag ids of item `j` that belong to the cluster.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTagSets {
+    sets: Vec<Vec<u32>>,
+}
+
+impl ClusterTagSets {
+    /// Restricts an item→tag incidence to the tags with `assignment[tag] == k`.
+    pub fn from_assignment(item_tags: &Csr, assignment: &[usize], k: usize) -> Self {
+        let sets = (0..item_tags.rows())
+            .map(|j| {
+                item_tags
+                    .row_indices(j)
+                    .iter()
+                    .copied()
+                    .filter(|&t| assignment[t as usize] == k)
+                    .collect()
+            })
+            .collect();
+        Self { sets }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The cluster-restricted tag set of item `j` (sorted ascending).
+    pub fn set(&self, j: usize) -> &[u32] {
+        &self.sets[j]
+    }
+
+    /// Jaccard index between items `a` and `b` (0 when either set is empty).
+    pub fn jaccard(&self, a: usize, b: usize) -> f32 {
+        jaccard_sorted(&self.sets[a], &self.sets[b])
+    }
+
+    /// All items `j'` with `jaccard(j, j') > delta`, excluding `j` itself.
+    ///
+    /// This is the similar set `S_j^k` of §IV-C.
+    pub fn similar_items(&self, j: usize, delta: f32) -> Vec<u32> {
+        let inverted = self.inverted_index();
+        self.similar_items_with_index(j, delta, &inverted)
+    }
+
+    /// Builds the tag → items inverted index once for repeated queries.
+    pub fn inverted_index(&self) -> Vec<Vec<u32>> {
+        let max_tag = self
+            .sets
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut inv = vec![Vec::new(); max_tag];
+        for (j, s) in self.sets.iter().enumerate() {
+            for &t in s {
+                inv[t as usize].push(j as u32);
+            }
+        }
+        inv
+    }
+
+    /// [`Self::similar_items`] against a prebuilt inverted index.
+    pub fn similar_items_with_index(
+        &self,
+        j: usize,
+        delta: f32,
+        inverted: &[Vec<u32>],
+    ) -> Vec<u32> {
+        let mut candidates: Vec<u32> = self.sets[j]
+            .iter()
+            .flat_map(|&t| inverted[t as usize].iter().copied())
+            .filter(|&c| c as usize != j)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .filter(|&c| self.jaccard(j, c as usize) > delta)
+            .collect()
+    }
+
+    /// Similar sets for every item at threshold `delta` (the full `{S_j^k}`).
+    pub fn all_similar_sets(&self, delta: f32) -> Vec<Vec<u32>> {
+        let inverted = self.inverted_index();
+        (0..self.n_items())
+            .map(|j| self.similar_items_with_index(j, delta, &inverted))
+            .collect()
+    }
+}
+
+/// Jaccard index of two ascending-sorted slices.
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f32 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f32 / union as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_sorted_basics() {
+        assert_eq!(jaccard_sorted(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard_sorted(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard_sorted(&[], &[1]), 0.0);
+        assert_eq!(jaccard_sorted(&[1], &[2]), 0.0);
+    }
+
+    fn toy_sets() -> ClusterTagSets {
+        // 4 items, 5 tags; cluster 0 holds tags {0, 1, 2}, cluster 1 {3, 4}.
+        let item_tags = Csr::from_adjacency(
+            4,
+            5,
+            &[vec![0, 1, 3], vec![0, 1, 2], vec![2, 4], vec![3, 4]],
+        );
+        let assignment = vec![0, 0, 0, 1, 1];
+        ClusterTagSets::from_assignment(&item_tags, &assignment, 0)
+    }
+
+    #[test]
+    fn from_assignment_restricts_to_cluster() {
+        let s = toy_sets();
+        assert_eq!(s.set(0), &[0, 1]);
+        assert_eq!(s.set(1), &[0, 1, 2]);
+        assert_eq!(s.set(2), &[2]);
+        assert_eq!(s.set(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn pairwise_jaccard_values() {
+        let s = toy_sets();
+        assert!((s.jaccard(0, 1) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((s.jaccard(1, 2) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(s.jaccard(0, 3), 0.0);
+    }
+
+    #[test]
+    fn similar_items_thresholding() {
+        let s = toy_sets();
+        assert_eq!(s.similar_items(0, 0.5), vec![1]);
+        assert_eq!(s.similar_items(0, 0.7), Vec::<u32>::new());
+        // Item 3 has no cluster-0 tags: similar set empty at any threshold.
+        assert_eq!(s.similar_items(3, 0.0), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_similar_sets_consistent_with_single_queries() {
+        let s = toy_sets();
+        let all = s.all_similar_sets(0.3);
+        for j in 0..s.n_items() {
+            assert_eq!(all[j], s.similar_items(j, 0.3));
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let s = toy_sets();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!((s.jaccard(a, b) - s.jaccard(b, a)).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # imcat-graph
+//!
+//! Interaction-graph substrate for the IMCAT reproduction: bipartite CSR
+//! graphs with cached transposes and degree statistics, the joint normalized
+//! adjacency used by GNN backbones/baselines (LightGCN, TGCN, KGAT, SGL,
+//! KGCL), long-tail degree grouping (Fig. 7 of the paper), and the per-intent
+//! tag-set Jaccard machinery behind the ISA module (Eq. 15).
+
+#![warn(missing_docs)]
+
+mod bipartite;
+mod jaccard;
+
+pub use bipartite::{
+    degree_groups, degree_histogram, gini_coefficient, joint_normalized_adjacency,
+    Bipartite,
+};
+pub use jaccard::{jaccard_sorted, ClusterTagSets};

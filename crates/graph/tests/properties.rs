@@ -1,0 +1,96 @@
+//! Property-based tests for graph invariants.
+
+use imcat_graph::{degree_groups, jaccard_sorted, joint_normalized_adjacency, Bipartite};
+use imcat_tensor::Csr;
+use proptest::prelude::*;
+
+/// Strategy: a random bipartite adjacency with `rows` users and `cols` items.
+fn adjacency(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..cols as u32, 0..cols.min(8)),
+        rows,
+    )
+    .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_preserves_edges(adj in adjacency(6, 9)) {
+        let g = Bipartite::new(Csr::from_adjacency(6, 9, &adj));
+        prop_assert_eq!(g.forward().nnz(), g.backward().nnz());
+        for (u, v, _) in g.forward().iter() {
+            prop_assert!(g.backward().contains(v, u));
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count(adj in adjacency(5, 7)) {
+        let g = Bipartite::new(Csr::from_adjacency(5, 7, &adj));
+        let row_sum: usize = g.row_degrees().iter().sum();
+        let col_sum: usize = g.col_degrees().iter().sum();
+        prop_assert_eq!(row_sum, g.n_edges());
+        prop_assert_eq!(col_sum, g.n_edges());
+    }
+
+    #[test]
+    fn mean_aggregators_are_row_stochastic(adj in adjacency(6, 6)) {
+        let g = Bipartite::new(Csr::from_adjacency(6, 6, &adj));
+        for agg in [g.col_mean_aggregator(), g.row_mean_aggregator()] {
+            for r in 0..agg.rows() {
+                let s: f32 = agg.row_values(r).iter().sum();
+                if agg.row_nnz(r) > 0 {
+                    prop_assert!((s - 1.0).abs() < 1e-5);
+                } else {
+                    prop_assert_eq!(s, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_adjacency_symmetric(adj in adjacency(4, 6)) {
+        let g = Bipartite::new(Csr::from_adjacency(4, 6, &adj));
+        let a = joint_normalized_adjacency(&g);
+        let at = a.transpose();
+        prop_assert_eq!(a, at);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(
+        a in proptest::collection::btree_set(0u32..40, 0..12),
+        b in proptest::collection::btree_set(0u32..40, 0..12),
+    ) {
+        let av: Vec<u32> = a.into_iter().collect();
+        let bv: Vec<u32> = b.into_iter().collect();
+        let j = jaccard_sorted(&av, &bv);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard_sorted(&bv, &av));
+        if !av.is_empty() {
+            prop_assert_eq!(jaccard_sorted(&av, &av), 1.0);
+        }
+    }
+
+    #[test]
+    fn degree_groups_are_monotone(degs in proptest::collection::vec(0usize..100, 10..50)) {
+        let groups = degree_groups(&degs, 5);
+        prop_assert_eq!(groups.len(), degs.len());
+        // Any item in a higher group has degree >= any item in a lower group
+        // ... only guaranteed across group boundaries after sorting;
+        // check group-mean monotonicity instead.
+        let mut sums = [0usize; 5];
+        let mut counts = [0usize; 5];
+        for (i, &g) in groups.iter().enumerate() {
+            sums[g] += degs[i];
+            counts[g] += 1;
+        }
+        let mut last = -1.0f64;
+        for g in 0..5 {
+            if counts[g] == 0 { continue; }
+            let mean = sums[g] as f64 / counts[g] as f64;
+            prop_assert!(mean >= last - 1e-9, "group means not monotone");
+            last = mean;
+        }
+    }
+}

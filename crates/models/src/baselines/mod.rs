@@ -1,0 +1,28 @@
+//! Comparison baselines from the paper's §V-C, organized by category:
+//! tag-enhanced (CFA, DSPR, TGCN), KG-enhanced (CKE, RippleNet, KGAT, KGIN),
+//! and SSL-based (SGL, KGCL). Each file documents which defining mechanism
+//! of the original method is preserved and which engineering details were
+//! simplified.
+
+mod cfa;
+mod cke;
+mod dspr;
+mod kgat;
+mod kgcl;
+mod kgin;
+mod profiles;
+mod ripplenet;
+mod sgl;
+mod tgcn;
+pub mod unified;
+
+pub use cfa::Cfa;
+pub use cke::Cke;
+pub use dspr::Dspr;
+pub use kgat::Kgat;
+pub use kgcl::Kgcl;
+pub use kgin::Kgin;
+pub use profiles::{item_tag_profiles, select_rows, user_tag_profiles};
+pub use ripplenet::RippleNet;
+pub use sgl::Sgl;
+pub use tgcn::Tgcn;

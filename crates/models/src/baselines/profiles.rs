@@ -1,0 +1,77 @@
+//! Shared tag-profile construction for the profile-based baselines
+//! (CFA, DSPR, RippleNet): dense user→tag and item→tag profile matrices
+//! derived from the training interactions.
+
+use imcat_data::SplitDataset;
+use imcat_tensor::Tensor;
+
+/// Row-normalized dense user→tag profile `normalize(Y_train @ Y')`.
+///
+/// As the paper notes for CFA/DSPR (§V-E), datasets do not record which user
+/// wrote a tag, so a user's profile is assembled from all tags of the items
+/// she interacted with.
+pub fn user_tag_profiles(data: &SplitDataset) -> Tensor {
+    let ut = data.train.forward().matmul_csr(data.item_tag.forward());
+    let ut = ut.row_normalized();
+    let mut out = Tensor::zeros(data.n_users(), data.n_tags());
+    for (u, t, w) in ut.iter() {
+        out.set(u as usize, t as usize, w);
+    }
+    out
+}
+
+/// Row-normalized dense item→tag profile.
+pub fn item_tag_profiles(data: &SplitDataset) -> Tensor {
+    let it = data.item_tag.forward().row_normalized();
+    let mut out = Tensor::zeros(data.n_items(), data.n_tags());
+    for (v, t, w) in it.iter() {
+        out.set(v as usize, t as usize, w);
+    }
+    out
+}
+
+/// Selects profile rows into a fresh `[ids.len(), n_tags]` tensor.
+pub fn select_rows(profiles: &Tensor, ids: &[u32]) -> Tensor {
+    let mut out = Tensor::zeros(ids.len(), profiles.cols());
+    for (i, &id) in ids.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(profiles.row(id as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_split;
+
+    #[test]
+    fn user_profiles_are_normalized() {
+        let data = tiny_split(41);
+        let p = user_tag_profiles(&data);
+        assert_eq!(p.shape(), (data.n_users(), data.n_tags()));
+        for u in 0..data.n_users() {
+            let s: f32 = p.row(u).iter().sum();
+            if !data.train_items(u).is_empty() {
+                assert!((s - 1.0).abs() < 1e-4, "user {u} profile sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn item_profiles_cover_tagged_items() {
+        let data = tiny_split(42);
+        let p = item_tag_profiles(&data);
+        for v in 0..data.n_items() {
+            let s: f32 = p.row(v).iter().sum();
+            let has_tags = data.item_tag.forward().row_nnz(v) > 0;
+            assert_eq!(has_tags, s > 0.5, "item {v}");
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let t = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let s = select_rows(&t, &[2, 0]);
+        assert_eq!(s.as_slice(), &[5., 6., 1., 2.]);
+    }
+}

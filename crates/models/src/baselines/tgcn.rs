@@ -1,0 +1,167 @@
+//! TGCN baseline (Chen et al. 2020): graph convolution over the unified
+//! user–item–tag graph with *type-aware* neighbor aggregation.
+//!
+//! Simplification vs. the original: type-aware neighbor *sampling* is
+//! replaced by full neighborhoods (our graphs are small), and the per-type
+//! aggregations are combined with equal weights after per-type symmetric
+//! normalization. The defining mechanism — tags as first-class graph nodes
+//! whose information reaches users through typed multi-hop message passing —
+//! is preserved.
+
+use std::rc::Rc;
+
+use imcat_data::{BprSampler, SplitDataset};
+use imcat_tensor::{
+    xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var,
+};
+use rand::rngs::StdRng;
+
+use crate::baselines::unified::{it_adjacency, ui_adjacency, UnifiedLayout};
+use crate::common::{bpr_loss, dot_score_all, EpochStats, RecModel, TrainConfig};
+
+/// Tag graph convolutional network.
+pub struct Tgcn {
+    store: ParamStore,
+    adam: Adam,
+    node_emb: ParamId,
+    ui_adj: Rc<Csr>,
+    it_adj: Rc<Csr>,
+    layout: UnifiedLayout,
+    cfg: TrainConfig,
+    sampler: BprSampler,
+}
+
+impl Tgcn {
+    /// Builds the model on a training split.
+    pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
+        let layout = UnifiedLayout::of(data);
+        let mut store = ParamStore::new();
+        let node_emb =
+            store.add("node_emb", xavier_uniform(layout.total(), cfg.dim, rng));
+        let adam = Adam::new(cfg.adam(), &store);
+        Self {
+            store,
+            adam,
+            node_emb,
+            ui_adj: Rc::new(ui_adjacency(data, layout)),
+            it_adj: Rc::new(it_adjacency(data, layout)),
+            layout,
+            cfg,
+            sampler: BprSampler::for_user_items(data),
+        }
+    }
+
+    /// Type-aware propagation: each layer averages the per-relation messages.
+    fn propagate(&self, tape: &mut Tape) -> Var {
+        let mut x = tape.leaf(&self.store, self.node_emb);
+        let mut acc = x;
+        for _ in 0..self.cfg.gnn_layers {
+            let from_ui = tape.spmm(&self.ui_adj, &self.ui_adj, x);
+            let from_it = tape.spmm(&self.it_adj, &self.it_adj, x);
+            let sum = tape.add(from_ui, from_it);
+            x = tape.scale(sum, 0.5);
+            acc = tape.add(acc, x);
+        }
+        tape.scale(acc, 1.0 / (self.cfg.gnn_layers as f32 + 1.0))
+    }
+
+    fn propagate_tensor(&self) -> Tensor {
+        let mut x = self.store.value(self.node_emb).clone();
+        let mut acc = x.clone();
+        for _ in 0..self.cfg.gnn_layers {
+            let mut sum = self.ui_adj.spmm(&x);
+            sum.add_assign(&self.it_adj.spmm(&x));
+            x = sum.map(|v| v * 0.5);
+            acc.add_assign(&x);
+        }
+        acc.map(|v| v / (self.cfg.gnn_layers as f32 + 1.0))
+    }
+
+    fn step(&mut self, rng: &mut StdRng) -> f32 {
+        let batch = self.sampler.sample(self.cfg.batch_size, rng);
+        let mut tape = Tape::new();
+        let nodes = self.propagate(&mut tape);
+        let pos: Vec<u32> = batch.positives.iter().map(|&v| self.layout.item(v)).collect();
+        let neg: Vec<u32> = batch.negatives.iter().map(|&v| self.layout.item(v)).collect();
+        let u = tape.gather_rows(nodes, &batch.anchors);
+        let vp = tape.gather_rows(nodes, &pos);
+        let vn = tape.gather_rows(nodes, &neg);
+        let sp = tape.rowwise_dot(u, vp);
+        let sn = tape.rowwise_dot(u, vn);
+        let loss = bpr_loss(&mut tape, sp, sn);
+        let value = tape.value(loss).item();
+        tape.backward(loss, &mut self.store);
+        self.adam.step(&mut self.store);
+        value
+    }
+}
+
+impl RecModel for Tgcn {
+    fn name(&self) -> String {
+        "TGCN".into()
+    }
+
+    fn train_epoch(&mut self, rng: &mut StdRng) -> EpochStats {
+        let batches = self.sampler.batches_per_epoch(self.cfg.batch_size);
+        let mut total = 0.0;
+        for _ in 0..batches {
+            total += self.step(rng);
+        }
+        EpochStats { loss: total / batches as f32, batches }
+    }
+
+    fn score_users(&self, users: &[u32]) -> Tensor {
+        let nodes = self.propagate_tensor();
+        let d = self.cfg.dim;
+        let mut ue = Tensor::zeros(self.layout.n_users, d);
+        let mut ve = Tensor::zeros(self.layout.n_items, d);
+        for r in 0..self.layout.n_users {
+            ue.row_mut(r).copy_from_slice(nodes.row(r));
+        }
+        for r in 0..self.layout.n_items {
+            ve.row_mut(r).copy_from_slice(nodes.row(self.layout.n_users + r));
+        }
+        dot_score_all(&ue, &ve, users)
+    }
+
+    fn num_params(&self) -> usize {
+        self.store.num_weights()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tiny_split, training_improves_recall};
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_decreases() {
+        let data = tiny_split(81);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Tgcn::new(&data, TrainConfig::default(), &mut rng);
+        let first = model.train_epoch(&mut rng).loss;
+        for _ in 0..15 {
+            model.train_epoch(&mut rng);
+        }
+        assert!(model.train_epoch(&mut rng).loss < first);
+    }
+
+    #[test]
+    fn training_beats_random_ranking() {
+        let data = tiny_split(82);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Tgcn::new(&data, TrainConfig::default(), &mut rng);
+        training_improves_recall(model, &data, 30);
+    }
+
+    #[test]
+    fn tape_and_tensor_propagation_agree() {
+        let data = tiny_split(83);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Tgcn::new(&data, TrainConfig::default(), &mut rng);
+        let mut tape = Tape::new();
+        let v = model.propagate(&mut tape);
+        assert!(tape.value(v).approx_eq(&model.propagate_tensor(), 1e-5));
+    }
+}

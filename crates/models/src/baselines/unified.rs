@@ -1,0 +1,109 @@
+//! Unified user–item–tag graph utilities shared by the graph baselines
+//! (TGCN, KGAT, KGCL). Nodes are laid out as `[users | items | tags]`.
+
+use imcat_data::SplitDataset;
+use imcat_tensor::Csr;
+
+/// Node layout of the unified graph.
+#[derive(Clone, Copy, Debug)]
+pub struct UnifiedLayout {
+    /// Number of user nodes (rows `0..n_users`).
+    pub n_users: usize,
+    /// Number of item nodes (rows `n_users..n_users + n_items`).
+    pub n_items: usize,
+    /// Number of tag nodes (final rows).
+    pub n_tags: usize,
+}
+
+impl UnifiedLayout {
+    /// Builds the layout from a split dataset.
+    pub fn of(data: &SplitDataset) -> Self {
+        Self { n_users: data.n_users(), n_items: data.n_items(), n_tags: data.n_tags() }
+    }
+
+    /// Total node count.
+    pub fn total(&self) -> usize {
+        self.n_users + self.n_items + self.n_tags
+    }
+
+    /// Global node id of an item.
+    pub fn item(&self, v: u32) -> u32 {
+        self.n_users as u32 + v
+    }
+
+    /// Global node id of a tag.
+    pub fn tag(&self, t: u32) -> u32 {
+        (self.n_users + self.n_items) as u32 + t
+    }
+}
+
+/// Symmetrically normalized adjacency over the unified node set containing
+/// only the user–item edges.
+pub fn ui_adjacency(data: &SplitDataset, layout: UnifiedLayout) -> Csr {
+    let n = layout.total();
+    let udeg: Vec<f32> =
+        data.train.row_degrees().iter().map(|&d| d as f32).collect();
+    let ideg: Vec<f32> =
+        data.train.col_degrees().iter().map(|&d| d as f32).collect();
+    let mut triplets = Vec::with_capacity(2 * data.train.n_edges());
+    for (u, v, w) in data.train.forward().iter() {
+        let norm =
+            w / (udeg[u as usize].max(1.0).sqrt() * ideg[v as usize].max(1.0).sqrt());
+        triplets.push((u, layout.item(v), norm));
+        triplets.push((layout.item(v), u, norm));
+    }
+    Csr::from_triplets(n, n, &triplets)
+}
+
+/// Symmetrically normalized adjacency over the unified node set containing
+/// only the item–tag edges.
+pub fn it_adjacency(data: &SplitDataset, layout: UnifiedLayout) -> Csr {
+    let n = layout.total();
+    let ideg: Vec<f32> =
+        data.item_tag.row_degrees().iter().map(|&d| d as f32).collect();
+    let tdeg: Vec<f32> =
+        data.item_tag.col_degrees().iter().map(|&d| d as f32).collect();
+    let mut triplets = Vec::with_capacity(2 * data.item_tag.n_edges());
+    for (v, t, w) in data.item_tag.forward().iter() {
+        let norm =
+            w / (ideg[v as usize].max(1.0).sqrt() * tdeg[t as usize].max(1.0).sqrt());
+        triplets.push((layout.item(v), layout.tag(t), norm));
+        triplets.push((layout.tag(t), layout.item(v), norm));
+    }
+    Csr::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_split;
+
+    #[test]
+    fn layout_offsets() {
+        let data = tiny_split(71);
+        let l = UnifiedLayout::of(&data);
+        assert_eq!(l.total(), data.n_users() + data.n_items() + data.n_tags());
+        assert_eq!(l.item(0), data.n_users() as u32);
+        assert_eq!(l.tag(0), (data.n_users() + data.n_items()) as u32);
+    }
+
+    #[test]
+    fn adjacencies_are_disjoint_blocks() {
+        let data = tiny_split(72);
+        let l = UnifiedLayout::of(&data);
+        let ui = ui_adjacency(&data, l);
+        let it = it_adjacency(&data, l);
+        assert_eq!(ui.nnz(), 2 * data.train.n_edges());
+        assert_eq!(it.nnz(), 2 * data.item_tag.n_edges());
+        // UI edges never touch tag nodes.
+        for (r, c, _) in ui.iter() {
+            assert!((r as usize) < l.n_users + l.n_items);
+            assert!((c as usize) < l.n_users + l.n_items);
+        }
+        // IT edges never touch user nodes.
+        for (r, c, _) in it.iter() {
+            assert!(r as usize >= l.n_users);
+            assert!(c as usize >= l.n_users);
+        }
+    }
+}

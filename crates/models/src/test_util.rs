@@ -1,0 +1,67 @@
+//! Test support: tiny datasets and smoke-level quality checks shared by the
+//! per-model unit tests (a full evaluation stack lives in `imcat-eval`).
+
+use imcat_data::{generate, SplitDataset, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::RecModel;
+
+/// A deterministic tiny split for unit tests.
+pub fn tiny_split(seed: u64) -> SplitDataset {
+    let data = generate(&SynthConfig::tiny(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    data.dataset.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+/// A mid-size split (~3x tiny) for mechanisms that degenerate on very small
+/// graphs (graph-contrastive SSL needs enough nodes for in-batch negatives
+/// to be informative).
+pub fn small_split(seed: u64) -> SplitDataset {
+    let data = generate(&SynthConfig::tiny().scaled(3.0), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    data.dataset.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+/// Recall@n over all test users, masking training items — a minimal local
+/// reimplementation used only to smoke-test models.
+pub fn quick_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) -> f64 {
+    let users = data.test_users();
+    let scores = model.score_users(&users);
+    let mut total = 0.0;
+    for (row, &u) in users.iter().enumerate() {
+        let mut s: Vec<(usize, f32)> = scores
+            .row(row)
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(j, _)| !data.train_items(u as usize).contains(&(j as u32)))
+            .collect();
+        s.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<usize> = s.iter().take(n).map(|&(j, _)| j).collect();
+        let test = &data.test[u as usize];
+        let hits = test.iter().filter(|&&t| top.contains(&(t as usize))).count();
+        total += hits as f64 / test.len() as f64;
+    }
+    total / users.len() as f64
+}
+
+/// Asserts that `epochs` of training raise Recall@20 above the untrained
+/// starting point (and above near-random levels).
+pub fn training_improves_recall(
+    mut model: impl RecModel,
+    data: &SplitDataset,
+    epochs: usize,
+) {
+    let before = quick_recall(&model, data, 20);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..epochs {
+        model.train_epoch(&mut rng);
+    }
+    let after = quick_recall(&model, data, 20);
+    assert!(
+        after > before + 0.02,
+        "{}: training did not improve recall ({before:.4} -> {after:.4})",
+        model.name()
+    );
+}

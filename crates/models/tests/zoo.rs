@@ -1,0 +1,105 @@
+//! Cross-model integration tests over the public API: every model in the zoo
+//! must construct, train stably, and score coherently on the same dataset.
+
+use imcat_data::{generate, SplitDataset, SynthConfig};
+use imcat_models::{
+    Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet, Sgl,
+    Tgcn, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn split() -> SplitDataset {
+    let data = generate(&SynthConfig::tiny(), 77);
+    let mut rng = StdRng::seed_from_u64(77);
+    data.dataset.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+fn zoo(data: &SplitDataset) -> Vec<Box<dyn RecModel>> {
+    let cfg = TrainConfig::default;
+    let mut rng = StdRng::seed_from_u64(0);
+    vec![
+        Box::new(Bprmf::new(data, cfg(), &mut rng)),
+        Box::new(Neumf::new(data, cfg(), &mut rng)),
+        Box::new(LightGcn::new(data, cfg(), &mut rng)),
+        Box::new(Cfa::new(data, cfg(), &mut rng)),
+        Box::new(Dspr::new(data, cfg(), &mut rng)),
+        Box::new(Tgcn::new(data, cfg(), &mut rng)),
+        Box::new(Cke::new(data, cfg(), &mut rng)),
+        Box::new(RippleNet::new(data, cfg(), &mut rng)),
+        Box::new(Kgat::new(data, cfg(), &mut rng)),
+        Box::new(Kgin::new(data, cfg(), &mut rng)),
+        Box::new(Sgl::new(data, cfg(), &mut rng)),
+        Box::new(Kgcl::new(data, cfg(), &mut rng)),
+    ]
+}
+
+#[test]
+fn all_models_have_unique_names_and_parameters() {
+    let data = split();
+    let models = zoo(&data);
+    let mut names: Vec<String> = models.iter().map(|m| m.name()).collect();
+    assert_eq!(names.len(), 12);
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 12, "duplicate model names");
+    for m in &models {
+        assert!(m.num_params() > 0, "{} has no parameters", m.name());
+    }
+}
+
+#[test]
+fn all_models_train_three_epochs_with_finite_losses() {
+    let data = split();
+    for mut m in zoo(&data) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut last = f32::INFINITY;
+        for e in 0..3 {
+            let stats = m.train_epoch(&mut rng);
+            assert!(
+                stats.loss.is_finite(),
+                "{} produced non-finite loss at epoch {e}",
+                m.name()
+            );
+            assert!(stats.batches > 0);
+            last = stats.loss;
+        }
+        assert!(last.is_finite());
+    }
+}
+
+#[test]
+fn all_models_score_every_item_finitely() {
+    let data = split();
+    let users: Vec<u32> = (0..4).collect();
+    for mut m in zoo(&data) {
+        let mut rng = StdRng::seed_from_u64(2);
+        m.train_epoch(&mut rng);
+        let s = m.score_users(&users);
+        assert_eq!(s.shape(), (4, data.n_items()), "{} shape", m.name());
+        assert!(
+            s.as_slice().iter().all(|x| x.is_finite()),
+            "{} produced non-finite scores",
+            m.name()
+        );
+        // Scores must discriminate: not all identical.
+        let first = s.get(0, 0);
+        assert!(
+            s.row(0).iter().any(|&x| (x - first).abs() > 1e-9),
+            "{} scores are constant",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn scoring_is_stable_across_calls() {
+    let data = split();
+    for mut m in zoo(&data) {
+        let mut rng = StdRng::seed_from_u64(3);
+        m.train_epoch(&mut rng);
+        let a = m.score_users(&[0, 1]);
+        let b = m.score_users(&[0, 1]);
+        assert!(a.approx_eq(&b, 1e-6), "{} scoring is nondeterministic", m.name());
+    }
+}

@@ -1,0 +1,72 @@
+//! Weight initializers.
+//!
+//! The paper fixes Xavier initialization for all models (§V-D), so that is the
+//! default everywhere; small-normal initialization is kept for cluster centers
+//! and tests.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Zero-mean normal with the given standard deviation (Box–Muller).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Uniform in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0 / 96.0_f32).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+        // Not all identical.
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(100, 100, 0.5, &mut rng);
+        let n = t.len() as f32;
+        let mean = t.sum() / n;
+        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(10, 10, -1.0, 2.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-1.0..2.0).contains(&x)));
+    }
+}

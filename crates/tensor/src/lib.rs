@@ -1,0 +1,47 @@
+//! # imcat-tensor
+//!
+//! Training substrate for the IMCAT reproduction: dense 2-D tensors, CSR
+//! sparse matrices, a reverse-mode autodiff tape, Xavier initialization, and
+//! an Adam optimizer with lazy sparse-row updates.
+//!
+//! The IMCAT paper (Wu et al., ICDE 2023) trains embedding models with custom
+//! contrastive (InfoNCE), ranking (BPR) and clustering (Student-t KL) losses.
+//! No mature Rust deep-learning framework covers that combination with sparse
+//! embedding gradients, so this crate implements exactly the needed op set —
+//! every operator's analytic gradient is validated against central finite
+//! differences by property tests (see `tests/gradcheck.rs`).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use imcat_tensor::{ParamStore, Tape, Tensor, Adam, AdamConfig};
+//!
+//! let mut store = ParamStore::new();
+//! let emb = store.add("emb", Tensor::from_vec(4, 2, vec![0.5; 8]));
+//! let mut adam = Adam::new(AdamConfig::default(), &store);
+//!
+//! let mut tape = Tape::new();
+//! let rows = tape.gather(&store, emb, &[0, 2]);      // embedding lookup
+//! let sq = tape.mul(rows, rows);
+//! let loss = tape.mean_all(sq);                      // scalar loss
+//! tape.backward(loss, &mut store);                   // sparse grads
+//! adam.step(&mut store);                             // lazy Adam
+//! ```
+
+#![warn(missing_docs)]
+
+mod init;
+mod optim;
+mod persist;
+mod sparse;
+mod store;
+mod tape;
+mod tensor;
+
+pub use init::{normal, uniform, xavier_uniform};
+pub use optim::{Adam, AdamConfig};
+pub use persist::{load_params, load_params_from, restore_into, save_params, save_params_to};
+pub use sparse::Csr;
+pub use store::{Param, ParamId, ParamStore};
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::Tensor;

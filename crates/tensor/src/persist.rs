@@ -1,0 +1,202 @@
+//! Model persistence: a small, versioned, little-endian binary format for
+//! parameter stores, so trained models can be checkpointed and reloaded
+//! without pulling in a serialization framework for multi-megabyte float
+//! buffers.
+//!
+//! Layout: magic `IMCT`, format version (u32), parameter count (u32), then
+//! per parameter: name length (u32), UTF-8 name, rows (u32), cols (u32),
+//! row-major `f32` data.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::store::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"IMCT";
+const VERSION: u32 = 1;
+
+/// Writes every parameter of `store` to `w`.
+pub fn save_params(store: &ParamStore, mut w: impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, p) in store.iter() {
+        let name = p.name().as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let (rows, cols) = p.value().shape();
+        w.write_all(&(rows as u32).to_le_bytes())?;
+        w.write_all(&(cols as u32).to_le_bytes())?;
+        for &x in p.value().as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint produced by [`save_params`] into a fresh store.
+///
+/// Parameter order and names are preserved, so `ParamId`s handed out by an
+/// identically-constructed model remain valid.
+pub fn load_params(mut r: impl Read) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an IMCT checkpoint"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized name"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 name"))?;
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        let elems = rows.checked_mul(cols).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "shape overflow")
+        })?;
+        let mut data = Vec::with_capacity(elems);
+        let mut buf = [0u8; 4];
+        for _ in 0..elems {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        store.add(name, Tensor::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+/// Saves to a file path.
+pub fn save_params_to(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    save_params(store, io::BufWriter::new(f))
+}
+
+/// Loads from a file path.
+pub fn load_params_from(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    let f = std::fs::File::open(path)?;
+    load_params(io::BufReader::new(f))
+}
+
+/// Copies values from `src` into `dst` by matching parameter names; shapes
+/// must agree. Returns the number of parameters restored. Parameters of
+/// `dst` missing from `src` are left untouched.
+pub fn restore_into(dst: &mut ParamStore, src: &ParamStore) -> Result<usize, String> {
+    let mut restored = 0;
+    let ids: Vec<_> = dst.iter().map(|(id, p)| (id, p.name().to_string())).collect();
+    for (id, name) in ids {
+        if let Some((_, sp)) = src.iter().find(|(_, p)| p.name() == name) {
+            if sp.value().shape() != dst.value(id).shape() {
+                return Err(format!(
+                    "shape mismatch for '{name}': {:?} vs {:?}",
+                    sp.value().shape(),
+                    dst.value(id).shape()
+                ));
+            }
+            *dst.value_mut(id) = sp.value().clone();
+            restored += 1;
+        }
+    }
+    Ok(restored)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("alpha", Tensor::from_vec(2, 3, vec![1., -2., 3.5, 0., 7.25, -0.125]));
+        s.add("beta", Tensor::scalar(42.0));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let loaded = load_params(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let (_, p0) = loaded.iter().next().unwrap();
+        assert_eq!(p0.name(), "alpha");
+        assert_eq!(p0.value(), store.iter().next().unwrap().1.value());
+        let (_, p1) = loaded.iter().nth(1).unwrap();
+        assert_eq!(p1.value().item(), 42.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_params(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        buf[4] = 99;
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join(format!("imct_{}.bin", std::process::id()));
+        save_params_to(&store, &path).unwrap();
+        let loaded = load_params_from(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_into_matches_by_name() {
+        let src = sample_store();
+        let mut dst = ParamStore::new();
+        dst.add("beta", Tensor::scalar(0.0));
+        dst.add("gamma", Tensor::scalar(-1.0));
+        let n = restore_into(&mut dst, &src).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(dst.value(dst.iter().next().unwrap().0).item(), 42.0);
+        // gamma untouched
+        assert_eq!(dst.value(dst.iter().nth(1).unwrap().0).item(), -1.0);
+    }
+
+    #[test]
+    fn restore_into_rejects_shape_mismatch() {
+        let src = sample_store();
+        let mut dst = ParamStore::new();
+        dst.add("alpha", Tensor::zeros(1, 1));
+        assert!(restore_into(&mut dst, &src).is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Compressed sparse row matrices.
+//!
+//! `Csr` is the storage used for interaction graphs (user–item, item–tag),
+//! aggregation operators (mean over a neighborhood, Eq. 7/8 of the paper),
+//! and LightGCN's normalized adjacency. The autodiff tape multiplies these
+//! against dense tensors via [`Csr::spmm`], whose backward pass uses the
+//! stored transpose.
+
+use crate::tensor::Tensor;
+
+/// A sparse `rows x cols` matrix in CSR format with `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from COO triplets. Duplicate coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            assert!((r as usize) < rows, "row {r} out of bounds for {rows}");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; triplets.len()];
+        let mut values = vec![0f32; triplets.len()];
+        let mut cursor = indptr.clone();
+        for &(r, c, v) in triplets {
+            assert!((c as usize) < cols, "col {c} out of bounds for {cols}");
+            let pos = cursor[r as usize];
+            indices[pos] = c;
+            values[pos] = v;
+            cursor[r as usize] += 1;
+        }
+        let mut out = Self { rows, cols, indptr, indices, values };
+        out.sort_and_dedup();
+        out
+    }
+
+    /// Builds a binary adjacency CSR from per-row neighbor lists.
+    pub fn from_adjacency(rows: usize, cols: usize, neighbors: &[Vec<u32>]) -> Self {
+        assert_eq!(neighbors.len(), rows);
+        let nnz: usize = neighbors.iter().map(Vec::len).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for ns in neighbors {
+            for &c in ns {
+                assert!((c as usize) < cols, "col {c} out of bounds for {cols}");
+                indices.push(c);
+            }
+            indptr.push(indices.len());
+        }
+        let values = vec![1.0; indices.len()];
+        let mut out = Self { rows, cols, indptr, indices, values };
+        out.sort_and_dedup();
+        out
+    }
+
+    fn sort_and_dedup(&mut self) {
+        let mut new_indptr = Vec::with_capacity(self.rows + 1);
+        let mut new_indices = Vec::with_capacity(self.indices.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        new_indptr.push(0);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.rows {
+            scratch.clear();
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                scratch.push((self.indices[k], self.values[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                new_indices.push(c);
+                new_values.push(v);
+                i = j;
+            }
+            new_indptr.push(new_indices.len());
+        }
+        self.indptr = new_indptr;
+        self.indices = new_indices;
+        self.values = new_values;
+    }
+
+    /// An empty `rows x cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of row `r` (sorted ascending).
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Values of row `r`, parallel to [`Csr::row_indices`].
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        &self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Number of entries stored in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Iterates `(row, col, value)` over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// True when `(r, c)` is stored.
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        self.row_indices(r as usize).binary_search(&c).is_ok()
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.rows {
+            for (k, &c) in self.row_indices(r).iter().enumerate() {
+                let v = self.row_values(r)[k];
+                let pos = cursor[c as usize];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Returns a copy whose rows each sum to one (rows with no entries stay zero).
+    ///
+    /// This is the mean-aggregation operator used for Eq. 7/8: multiplying it
+    /// against an embedding matrix averages the embeddings of each row's
+    /// neighbors.
+    pub fn row_normalized(&self) -> Csr {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            let s: f32 = out.values[lo..hi].iter().sum();
+            if s > 0.0 {
+                for v in &mut out.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales entry `(r, c)` by `d_r^{-1/2} d_c^{-1/2}` given per-row and
+    /// per-column degree vectors (LightGCN's symmetric normalization).
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+    pub fn sym_normalized(&self, row_deg: &[f32], col_deg: &[f32]) -> Csr {
+        assert_eq!(row_deg.len(), self.rows);
+        assert_eq!(col_deg.len(), self.cols);
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let dr = row_deg[r].max(1.0).sqrt();
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            for k in lo..hi {
+                let dc = col_deg[out.indices[k] as usize].max(1.0).sqrt();
+                out.values[k] /= dr * dc;
+            }
+        }
+        out
+    }
+
+    /// Sparse-dense product `self @ x` (`[r,c] x [c,n] -> [r,n]`).
+    pub fn spmm(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm inner dimension mismatch: {}x{} vs {:?}",
+            self.rows,
+            self.cols,
+            x.shape()
+        );
+        let n = x.cols();
+        let mut out = Tensor::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let o_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+            for (k, &c) in self.row_indices(r).iter().enumerate() {
+                let v = self.row_values(r)[k];
+                let x_row = x.row(c as usize);
+                for (o, &xv) in o_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts the given rows into a new `[rows.len(), cols]` matrix
+    /// (row `i` of the result is row `rows[i]` of `self`; duplicates allowed).
+    ///
+    /// Used to restrict aggregation operators to a mini-batch so SpMM cost
+    /// scales with the batch, not the full entity set.
+    pub fn select_rows(&self, rows: &[u32]) -> Csr {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let nnz: usize = rows.iter().map(|&r| self.row_nnz(r as usize)).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for &r in rows {
+            indices.extend_from_slice(self.row_indices(r as usize));
+            values.extend_from_slice(self.row_values(r as usize));
+            indptr.push(indices.len());
+        }
+        Csr { rows: rows.len(), cols: self.cols, indptr, indices, values }
+    }
+
+    /// Sparse-sparse product `self @ other` (`[r,c] x [c,n] -> [r,n]`).
+    ///
+    /// Used to build derived incidences such as the user→tag profile matrix
+    /// `Y @ Y'` consumed by the CFA/DSPR baselines.
+    pub fn matmul_csr(&self, other: &Csr) -> Csr {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul_csr inner dimension mismatch: {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
+        let mut acc: Vec<f32> = vec![0.0; other.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.rows {
+            for (k, &mid) in self.row_indices(r).iter().enumerate() {
+                let v = self.row_values(r)[k];
+                let m = mid as usize;
+                for (k2, &c) in other.row_indices(m).iter().enumerate() {
+                    if acc[c as usize] == 0.0 {
+                        touched.push(c);
+                    }
+                    acc[c as usize] += v * other.row_values(m)[k2];
+                }
+            }
+            for &c in &touched {
+                triplets.push((r as u32, c, acc[c as usize]));
+                acc[c as usize] = 0.0;
+            }
+            touched.clear();
+        }
+        Csr::from_triplets(self.rows, other.cols, &triplets)
+    }
+
+    /// Dense row sums as a vector of length `rows`.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| self.row_values(r).iter().sum()).collect()
+    }
+
+    /// Per-row entry counts (degrees for binary matrices).
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Keeps each stored entry with probability `1 - drop_prob`, preserving
+    /// values. Used for SGL/KGCL edge-dropout graph views.
+    pub fn drop_edges(&self, drop_prob: f32, rng: &mut impl rand::Rng) -> Csr {
+        let triplets: Vec<(u32, u32, f32)> = self
+            .iter()
+            .filter(|_| rng.gen::<f32>() >= drop_prob)
+            .collect();
+        Csr::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 4.0), (2, 0, 3.0)])
+    }
+
+    #[test]
+    fn triplets_sorted_and_indexed() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_indices(0), &[0, 2]);
+        assert_eq!(m.row_indices(1), &[] as &[u32]);
+        assert_eq!(m.row_indices(2), &[0, 1]);
+        assert_eq!(m.row_values(2), &[3.0, 4.0]);
+        assert!(m.contains(0, 2));
+        assert!(!m.contains(1, 1));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = Csr::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row_values(0), &[3.5]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert!(t.contains(2, 0));
+        assert!(t.contains(1, 2));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = m.spmm(&x);
+        // dense: [[1,0,2],[0,0,0],[3,4,0]] @ x
+        assert_eq!(y.as_slice(), &[11., 14., 0., 0., 15., 22.]);
+    }
+
+    #[test]
+    fn row_normalized_sums_to_one() {
+        let m = sample().row_normalized();
+        let s0: f32 = m.row_values(0).iter().sum();
+        let s2: f32 = m.row_values(2).iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s2 - 1.0).abs() < 1e-6);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn sym_normalized_values() {
+        let m = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]);
+        let n = m.sym_normalized(&[2.0, 1.0], &[2.0, 1.0]);
+        // (0,0): 1/sqrt(2*2)=0.5 ; (0,1): 1/sqrt(2*1)≈0.7071 ; (1,0): same
+        assert!((n.row_values(0)[0] - 0.5).abs() < 1e-6);
+        assert!((n.row_values(0)[1] - 0.70710677).abs() < 1e-6);
+        assert!((n.row_values(1)[0] - 0.70710677).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjacency_builder() {
+        let m = Csr::from_adjacency(2, 4, &[vec![3, 1], vec![]]);
+        assert_eq!(m.row_indices(0), &[1, 3]);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_values(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn drop_edges_extremes() {
+        let m = sample();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        let kept = m.drop_edges(0.0, &mut rng);
+        assert_eq!(kept.nnz(), m.nnz());
+        let none = m.drop_edges(1.1, &mut rng);
+        assert_eq!(none.nnz(), 0);
+    }
+
+    #[test]
+    fn select_rows_picks_and_repeats() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row_indices(0), &[0, 1]);
+        assert_eq!(s.row_indices(1), &[0, 2]);
+        assert_eq!(s.row_indices(2), &[0, 1]);
+        assert_eq!(s.row_values(1), &[1.0, 2.0]);
+        // Multiplication agrees with gathering rows of the full product.
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let full = m.spmm(&x);
+        let sub = s.spmm(&x);
+        assert_eq!(sub.row(0), full.row(2));
+        assert_eq!(sub.row(1), full.row(0));
+    }
+
+    #[test]
+    fn matmul_csr_matches_dense() {
+        let a = sample();
+        let b = Csr::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)]);
+        let c = a.matmul_csr(&b);
+        // dense a = [[1,0,2],[0,0,0],[3,4,0]]; dense b = [[1,0],[0,2],[-1,0]]
+        // product  = [[-1,0],[0,0],[3,8]]
+        let dense = c.spmm(&Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]));
+        assert_eq!(dense.as_slice(), &[-1., 0., 0., 0., 3., 8.]);
+    }
+
+    #[test]
+    fn matmul_csr_identity() {
+        let a = sample();
+        let eye = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        assert_eq!(a.matmul_csr(&eye), a);
+    }
+
+    #[test]
+    fn degrees_and_row_sums() {
+        let m = sample();
+        assert_eq!(m.degrees(), vec![2, 0, 2]);
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Trainable parameter storage with sparse-gradient bookkeeping.
+//!
+//! Embedding tables in recommendation models are large but each training step
+//! touches only a few rows. [`ParamStore`] therefore tracks *which rows* of
+//! each parameter received gradient so the optimizer ([`crate::optim::Adam`])
+//! can skip untouched rows entirely — the "lazy Adam" pattern that makes CPU
+//! training of the paper's 14 models practical.
+
+use crate::tensor::Tensor;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// One trainable tensor plus its gradient accumulator.
+#[derive(Debug)]
+pub struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    touched: Vec<bool>,
+    touched_list: Vec<u32>,
+}
+
+impl Param {
+    /// Parameter name (for debugging / serialization).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Accumulated gradient (valid for touched rows only).
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Rows that received gradient since the last optimizer step.
+    pub fn touched_rows(&self) -> &[u32] {
+        &self.touched_list
+    }
+}
+
+/// Collection of all trainable parameters of a model.
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(r, c),
+            touched: vec![false; r],
+            touched_list: Vec::new(),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Borrow a parameter record.
+    pub fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Borrow a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutably borrow a parameter value (e.g. for manual initialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Marks `row` touched and adds `g_row` into the gradient accumulator.
+    pub(crate) fn accum_grad_row(&mut self, id: ParamId, row: u32, g_row: &[f32]) {
+        let p = &mut self.params[id.0];
+        debug_assert_eq!(g_row.len(), p.grad.cols());
+        if !p.touched[row as usize] {
+            p.touched[row as usize] = true;
+            p.touched_list.push(row);
+        }
+        for (dst, &src) in p.grad.row_mut(row as usize).iter_mut().zip(g_row) {
+            *dst += src;
+        }
+    }
+
+    /// Adds a dense gradient, marking every row touched.
+    pub(crate) fn accum_grad_dense(&mut self, id: ParamId, g: &Tensor) {
+        let p = &mut self.params[id.0];
+        assert_eq!(p.grad.shape(), g.shape(), "dense grad shape mismatch for {}", p.name);
+        p.grad.add_assign(g);
+        if p.touched_list.len() != p.touched.len() {
+            for r in 0..p.touched.len() {
+                if !p.touched[r] {
+                    p.touched[r] = true;
+                    p.touched_list.push(r as u32);
+                }
+            }
+        }
+    }
+
+    /// Visits `(value_row, grad_row)` for each touched row of `id`, then
+    /// clears the touched set and zeroes visited gradient rows.
+    ///
+    /// This is the single pass the optimizer makes per step.
+    pub fn drain_touched(&mut self, id: ParamId, mut f: impl FnMut(u32, &mut [f32], &[f32])) {
+        let p = &mut self.params[id.0];
+        let cols = p.grad.cols();
+        for &r in &p.touched_list {
+            let base = r as usize * cols;
+            // Split borrows: value and grad live in different tensors.
+            let grad_row: Vec<f32> = p.grad.as_slice()[base..base + cols].to_vec();
+            f(r, p.value.row_mut(r as usize), &grad_row);
+            p.grad.as_mut_slice()[base..base + cols].iter_mut().for_each(|x| *x = 0.0);
+            p.touched[r as usize] = false;
+        }
+        p.touched_list.clear();
+    }
+
+    /// Clears every gradient and touched flag (used between evaluation passes).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            for &r in &p.touched_list {
+                let cols = p.grad.cols();
+                let base = r as usize * cols;
+                p.grad.as_mut_slice()[base..base + cols].iter_mut().for_each(|x| *x = 0.0);
+                p.touched[r as usize] = false;
+            }
+            p.touched_list.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let id = s.add("emb", Tensor::zeros(4, 2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value(id).shape(), (4, 2));
+        assert_eq!(s.param(id).name(), "emb");
+        assert_eq!(s.num_weights(), 8);
+    }
+
+    #[test]
+    fn sparse_grad_accumulation_tracks_rows() {
+        let mut s = ParamStore::new();
+        let id = s.add("emb", Tensor::zeros(4, 2));
+        s.accum_grad_row(id, 2, &[1.0, 2.0]);
+        s.accum_grad_row(id, 2, &[0.5, 0.5]);
+        s.accum_grad_row(id, 0, &[3.0, 0.0]);
+        assert_eq!(s.param(id).touched_rows(), &[2, 0]);
+        assert_eq!(s.param(id).grad().row(2), &[1.5, 2.5]);
+        assert_eq!(s.param(id).grad().row(0), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_grad_touches_everything() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(3, 1));
+        s.accum_grad_dense(id, &Tensor::from_vec(3, 1, vec![1., 2., 3.]));
+        assert_eq!(s.param(id).touched_rows().len(), 3);
+    }
+
+    #[test]
+    fn drain_touched_applies_and_clears() {
+        let mut s = ParamStore::new();
+        let id = s.add("emb", Tensor::zeros(4, 2));
+        s.accum_grad_row(id, 1, &[1.0, 1.0]);
+        s.drain_touched(id, |_r, val, grad| {
+            for (v, g) in val.iter_mut().zip(grad) {
+                *v -= 0.1 * g;
+            }
+        });
+        assert_eq!(s.value(id).row(1), &[-0.1, -0.1]);
+        assert!(s.param(id).touched_rows().is_empty());
+        assert_eq!(s.param(id).grad().row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut s = ParamStore::new();
+        let id = s.add("emb", Tensor::zeros(2, 2));
+        s.accum_grad_row(id, 0, &[5.0, 5.0]);
+        s.zero_grads();
+        assert!(s.param(id).touched_rows().is_empty());
+        assert_eq!(s.param(id).grad().row(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Edge-case and failure-injection tests for the tensor substrate: shape
+//! mismatches must panic loudly, numerical edge inputs must stay finite, and
+//! optimizer state must survive pathological gradients.
+
+use imcat_tensor::{Adam, AdamConfig, Csr, ParamStore, Tape, Tensor};
+
+#[test]
+#[should_panic(expected = "matmul inner dimension mismatch")]
+fn matmul_shape_mismatch_panics() {
+    let a = Tensor::zeros(2, 3);
+    let b = Tensor::zeros(4, 2);
+    let _ = a.matmul(&b);
+}
+
+#[test]
+#[should_panic(expected = "add shape mismatch")]
+fn tape_add_shape_mismatch_panics() {
+    let mut tape = Tape::new();
+    let a = tape.constant(Tensor::zeros(2, 2));
+    let b = tape.constant(Tensor::zeros(2, 3));
+    let _ = tape.add(a, b);
+}
+
+#[test]
+#[should_panic(expected = "loss must be a scalar")]
+fn backward_requires_scalar_loss() {
+    let mut store = ParamStore::new();
+    let p = store.add("p", Tensor::zeros(2, 2));
+    let mut tape = Tape::new();
+    let v = tape.leaf(&store, p);
+    tape.backward(v, &mut store);
+}
+
+#[test]
+#[should_panic(expected = "bad slice bounds")]
+fn slice_cols_out_of_range_panics() {
+    let mut tape = Tape::new();
+    let a = tape.constant(Tensor::zeros(2, 4));
+    let _ = tape.slice_cols(a, 3, 6);
+}
+
+#[test]
+fn log_sigmoid_extreme_inputs_stay_finite() {
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::from_vec(1, 4, vec![-100.0, -30.0, 30.0, 100.0]));
+    let y = tape.log_sigmoid(x);
+    for &v in tape.value(y).as_slice() {
+        assert!(v.is_finite(), "log_sigmoid produced {v}");
+    }
+    // log σ(-100) ≈ -100; log σ(100) ≈ 0.
+    assert!((tape.value(y).get(0, 0) + 100.0).abs() < 1e-3);
+    assert!(tape.value(y).get(0, 3).abs() < 1e-3);
+}
+
+#[test]
+fn softmax_handles_large_logits() {
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::from_vec(1, 3, vec![1000.0, 999.0, -1000.0]));
+    let s = tape.softmax_rows(x);
+    let row = tape.value(s).row(0).to_vec();
+    assert!(row.iter().all(|v| v.is_finite()));
+    assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    assert!(row[0] > row[1] && row[1] > row[2]);
+}
+
+#[test]
+fn l2_normalize_zero_row_is_safe() {
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::zeros(2, 3));
+    let y = tape.l2_normalize_rows(x, 1e-12);
+    assert!(tape.value(y).as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn row_normalize_zero_row_is_safe() {
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::zeros(2, 3));
+    let y = tape.row_normalize(x);
+    assert!(tape.value(y).as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn adam_survives_huge_gradients() {
+    let mut store = ParamStore::new();
+    let p = store.add("p", Tensor::scalar(1.0));
+    let mut adam = Adam::new(AdamConfig::default(), &store);
+    for _ in 0..5 {
+        let mut tape = Tape::new();
+        let v = tape.leaf(&store, p);
+        let big = tape.scale(v, 1e20);
+        let loss = tape.sum_all(big);
+        tape.backward(loss, &mut store);
+        adam.step(&mut store);
+        assert!(
+            store.value(p).item().is_finite(),
+            "Adam produced non-finite weight"
+        );
+    }
+}
+
+#[test]
+fn empty_csr_spmm_is_zero() {
+    let c = Csr::empty(3, 4);
+    let x = Tensor::full(4, 2, 7.0);
+    let y = c.spmm(&x);
+    assert_eq!(y.shape(), (3, 2));
+    assert!(y.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn select_rows_on_empty_rows() {
+    let c = Csr::from_triplets(3, 3, &[(0, 0, 1.0)]);
+    let s = c.select_rows(&[1, 2]);
+    assert_eq!(s.nnz(), 0);
+    assert_eq!(s.rows(), 2);
+}
+
+#[test]
+fn gather_empty_rows_list() {
+    let mut store = ParamStore::new();
+    let p = store.add("p", Tensor::full(3, 2, 1.0));
+    let mut tape = Tape::new();
+    let g = tape.gather(&store, p, &[]);
+    assert_eq!(tape.value(g).shape(), (0, 2));
+}
+
+#[test]
+fn dropout_zero_probability_is_identity() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    let y = tape.dropout(x, 0.0, &mut rng);
+    assert_eq!(tape.value(y).as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+}
+
+#[test]
+fn gradients_accessor_exposes_intermediates() {
+    let mut store = ParamStore::new();
+    let p = store.add("p", Tensor::scalar(2.0));
+    let mut tape = Tape::new();
+    let v = tape.leaf(&store, p);
+    let sq = tape.mul(v, v);
+    let loss = tape.sum_all(sq);
+    let grads = tape.backward(loss, &mut store);
+    // d(loss)/d(sq) = 1, d(loss)/d(v) = 2v = 4.
+    assert_eq!(grads.wrt(sq).unwrap().item(), 1.0);
+    assert_eq!(grads.wrt(v).unwrap().item(), 4.0);
+    assert!(grads.wrt(loss).is_some());
+}
+
+#[test]
+fn concat_rows_then_gather_roundtrip() {
+    let mut tape = Tape::new();
+    let a = tape.constant(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+    let b = tape.constant(Tensor::from_vec(1, 2, vec![5., 6.]));
+    let cat = tape.concat_rows(&[a, b]);
+    assert_eq!(tape.value(cat).shape(), (3, 2));
+    assert_eq!(tape.value(cat).row(2), &[5., 6.]);
+    let back = tape.gather_rows(cat, &[2, 0]);
+    assert_eq!(tape.value(back).row(0), &[5., 6.]);
+    assert_eq!(tape.value(back).row(1), &[1., 2.]);
+}

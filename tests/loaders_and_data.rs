@@ -1,0 +1,146 @@
+//! Integration tests for the data path: loading HetRec-style dumps from disk,
+//! applying the paper's preprocessing, and training on the result.
+
+use std::io::Write;
+
+use imcat::data::{build_dataset, load_dataset, FilterConfig, RawData};
+use imcat::prelude::*;
+
+/// Writes a small HetRec-style dump to a temp dir and loads it back.
+#[test]
+fn load_real_format_files_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("imcat_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ui_path = dir.join("user_item.dat");
+    let it_path = dir.join("item_tag.dat");
+    {
+        let mut f = std::fs::File::create(&ui_path).unwrap();
+        writeln!(f, "userID\titemID").unwrap();
+        for u in 0..8u64 {
+            for i in 0..6u64 {
+                writeln!(f, "{}\t{}", u * 11, i * 101).unwrap();
+            }
+        }
+    }
+    {
+        let mut f = std::fs::File::create(&it_path).unwrap();
+        writeln!(f, "itemID\ttagID").unwrap();
+        for i in 0..6u64 {
+            for t in 0..3u64 {
+                writeln!(f, "{}\t{}", i * 101, t * 7).unwrap();
+            }
+        }
+    }
+    let filter = FilterConfig { min_degree: 3, min_tag_items: 2 };
+    let data = load_dataset("roundtrip", &ui_path, &it_path, filter).unwrap();
+    assert_eq!(data.n_users(), 8);
+    assert_eq!(data.n_items(), 6);
+    assert_eq!(data.n_tags(), 3);
+    assert_eq!(data.user_item.n_edges(), 48);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loaded_dataset_trains_end_to_end() {
+    // Build an in-memory raw dump, index it, split it, and train briefly.
+    let mut raw = RawData::default();
+    for u in 0..30u64 {
+        for i in 0..40u64 {
+            if (u * 7 + i * 13) % 3 == 0 {
+                raw.user_item.push((u, i));
+            }
+        }
+    }
+    for i in 0..40u64 {
+        raw.item_tag.push((i, i % 5));
+        raw.item_tag.push((i, (i + 1) % 5));
+    }
+    let data = build_dataset(
+        "in-memory",
+        raw,
+        FilterConfig { min_degree: 5, min_tag_items: 2 },
+    );
+    assert!(data.n_users() > 0 && data.n_items() > 0 && data.n_tags() > 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let split = data.split((0.7, 0.1, 0.2), &mut rng);
+    let mut model = Bprmf::new(&split, TrainConfig::default(), &mut rng);
+    let first = model.train_epoch(&mut rng).loss;
+    for _ in 0..15 {
+        model.train_epoch(&mut rng);
+    }
+    assert!(model.train_epoch(&mut rng).loss < first);
+}
+
+#[test]
+fn preset_statistics_track_table1_shape() {
+    // The seven presets must preserve the paper's *relative* structure:
+    // HetRec-MV is by far the densest UI matrix; Yelp has the densest IT
+    // matrix; Delicious has the largest tag vocabulary relative to items.
+    let stats: Vec<_> = SynthConfig::all_presets()
+        .iter()
+        .map(|c| generate(c, 0).dataset.stats())
+        .collect();
+    let by_name = |needle: &str| {
+        stats
+            .iter()
+            .find(|s| s.name.contains(needle))
+            .unwrap_or_else(|| panic!("missing preset {needle}"))
+    };
+    let mv = by_name("HetRec-MV");
+    for s in &stats {
+        if !s.name.contains("HetRec-MV") {
+            assert!(
+                mv.ui_density > 2.0 * s.ui_density,
+                "MV should dominate UI density: {} vs {}",
+                mv.ui_density,
+                s.ui_density
+            );
+        }
+    }
+    let yelp = by_name("Yelp");
+    for s in &stats {
+        if !s.name.contains("Yelp") {
+            assert!(
+                yelp.it_avg_degree > s.it_avg_degree,
+                "Yelp should have the heaviest tagging: {} vs {} ({})",
+                yelp.it_avg_degree,
+                s.it_avg_degree,
+                s.name
+            );
+        }
+    }
+    let del = by_name("HetRec-Del");
+    let tag_ratio = |s: &imcat::data::DatasetStats| s.n_tags as f64 / s.n_items as f64;
+    for s in &stats {
+        if !s.name.contains("Del") {
+            assert!(
+                tag_ratio(del) > tag_ratio(s),
+                "Delicious should have the richest tag vocabulary per item"
+            );
+        }
+    }
+}
+
+#[test]
+fn split_seeds_are_independent_of_generation() {
+    let synth = generate(&SynthConfig::tiny(), 3);
+    let mut rng_a = StdRng::seed_from_u64(100);
+    let mut rng_b = StdRng::seed_from_u64(200);
+    let a = synth.dataset.split((0.7, 0.1, 0.2), &mut rng_a);
+    let b = synth.dataset.split((0.7, 0.1, 0.2), &mut rng_b);
+    // Different split seeds shuffle items differently for at least one user.
+    let differs = (0..a.n_users()).any(|u| a.train_items(u) != b.train_items(u));
+    assert!(differs);
+    // But the union per user is identical.
+    for u in 0..a.n_users() {
+        let mut ua: Vec<u32> = a.train_items(u).to_vec();
+        ua.extend(&a.val[u]);
+        ua.extend(&a.test[u]);
+        ua.sort_unstable();
+        let mut ub: Vec<u32> = b.train_items(u).to_vec();
+        ub.extend(&b.val[u]);
+        ub.extend(&b.test[u]);
+        ub.sort_unstable();
+        assert_eq!(ua, ub);
+    }
+}
