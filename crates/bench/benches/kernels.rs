@@ -74,9 +74,7 @@ fn bench_propagation(c: &mut Criterion) {
     let n = adj.rows();
     let x0 = normal(n, 32, 1.0, &mut rng);
     c.bench_function("lightgcn_propagate_2layers_d32", |b| {
-        b.iter(|| {
-            std::hint::black_box(imcat_models::propagate_mean_tensor(&adj, &x0, 2))
-        });
+        b.iter(|| std::hint::black_box(imcat_models::propagate_mean_tensor(&adj, &x0, 2)));
     });
 }
 

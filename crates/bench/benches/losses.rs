@@ -59,8 +59,7 @@ fn bench_masked_infonce_with_isa(c: &mut Criterion) {
     let anchors = store.add("anchors", xavier_uniform(128, 8, &mut rng));
     let targets = store.add("targets", xavier_uniform(192, 8, &mut rng));
     // Each anchor has itself + one extra ISA positive.
-    let positives: Vec<Vec<usize>> =
-        (0..128).map(|j| vec![j, 128 + (j % 64)]).collect();
+    let positives: Vec<Vec<usize>> = (0..128).map(|j| vec![j, 128 + (j % 64)]).collect();
     let mask = PositiveMask::from_lists(128, 192, &positives);
     let aw = Tensor::full(128, 1, 0.25);
     let tw = Tensor::full(192, 1, 0.25);
@@ -83,8 +82,7 @@ fn bench_kl_clustering(c: &mut Criterion) {
     let centers = store.add("centers", normal(4, 32, 0.5, &mut rng));
     c.bench_function("loss_kl_clustering_450tags_k4", |b| {
         b.iter(|| {
-            let q_plain =
-                soft_assignment_tensor(store.value(tags), store.value(centers), 1.0);
+            let q_plain = soft_assignment_tensor(store.value(tags), store.value(centers), 1.0);
             let target = target_distribution(&q_plain);
             let mut tape = Tape::new();
             let tv = tape.leaf(&store, tags);

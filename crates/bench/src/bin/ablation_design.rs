@@ -11,33 +11,23 @@
 
 use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
 use imcat_core::ImcatConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     variant: String,
     dataset: String,
     recall: f64,
     ndcg: f64,
 }
+imcat_obs::impl_to_json!(Row { variant, dataset, recall, ndcg });
 
 fn main() {
     let env = Env::from_env();
     let variants: Vec<(&str, ImcatConfig)> = vec![
         ("end-to-end clustering", env.imcat_config()),
         ("periodic k-means", env.imcat_config().with_periodic_kmeans()),
-        (
-            "isa_max_pos = 3",
-            ImcatConfig { isa_max_pos: 3, ..env.imcat_config() },
-        ),
-        (
-            "no independence reg",
-            ImcatConfig { independence_weight: 0.0, ..env.imcat_config() },
-        ),
-        (
-            "tau = 0.2",
-            ImcatConfig { tau: 0.2, ..env.imcat_config() },
-        ),
+        ("isa_max_pos = 3", ImcatConfig { isa_max_pos: 3, ..env.imcat_config() }),
+        ("no independence reg", ImcatConfig { independence_weight: 0.0, ..env.imcat_config() }),
+        ("tau = 0.2", ImcatConfig { tau: 0.2, ..env.imcat_config() }),
     ];
     let mut rows = Vec::new();
     println!("Design ablations for L-IMCAT (R@20 / N@20, %)\n");
@@ -49,12 +39,7 @@ fn main() {
             let recall = imcat_bench::mean_of(&results, |r| r.recall);
             let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
             println!("{name:<24} {:>8.2} {:>8.2}", recall * 100.0, ndcg * 100.0);
-            rows.push(Row {
-                variant: name.to_string(),
-                dataset: data.name.clone(),
-                recall,
-                ndcg,
-            });
+            rows.push(Row { variant: name.to_string(), dataset: data.name.clone(), recall, ndcg });
         }
         println!();
     }

@@ -6,9 +6,7 @@
 
 use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
 use imcat_core::ImcatConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     model: String,
     dataset: String,
@@ -16,6 +14,7 @@ struct Point {
     recall: f64,
     ratio_vs_no_isa: f64,
 }
+imcat_obs::impl_to_json!(Point { model, dataset, delta, recall, ratio_vs_no_isa });
 
 fn main() {
     let env = Env::from_env();

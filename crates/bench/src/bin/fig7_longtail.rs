@@ -7,9 +7,7 @@
 use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
 use imcat_core::train;
 use imcat_eval::{group_recall_contribution, item_popularity_groups};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     dataset: String,
@@ -18,6 +16,7 @@ struct Row {
     /// Contributions normalized by the per-group best model.
     normalized: Vec<f64>,
 }
+imcat_obs::impl_to_json!(Row { model, dataset, contributions, normalized });
 
 fn main() {
     let env = Env::from_env();
@@ -42,8 +41,7 @@ fn main() {
             let mut model = kind.build(&data, &env.train_config(), &icfg, 1);
             train(model.as_mut(), &data, &env.trainer_config(7));
             let mut score_fn = |users: &[u32]| model.score_users(users);
-            let contributions =
-                group_recall_contribution(&mut score_fn, &data, 20, &groups, 5);
+            let contributions = group_recall_contribution(&mut score_fn, &data, 20, &groups, 5);
             dataset_rows.push(Row {
                 model: kind.name().to_string(),
                 dataset: data.name.clone(),
@@ -53,11 +51,8 @@ fn main() {
         }
         // Per-group normalization by the best model.
         for g in 0..5 {
-            let best = dataset_rows
-                .iter()
-                .map(|r| r.contributions[g])
-                .fold(0.0f64, f64::max)
-                .max(1e-12);
+            let best =
+                dataset_rows.iter().map(|r| r.contributions[g]).fold(0.0f64, f64::max).max(1e-12);
             for r in &mut dataset_rows {
                 r.normalized.push(r.contributions[g] / best);
             }
@@ -67,7 +62,10 @@ fn main() {
             for g in 0..5 {
                 print!(" {:>8.3}", r.normalized[g]);
             }
-            println!("   (abs: {:?})", r.contributions.iter().map(|c| (c * 1000.0).round() / 10.0).collect::<Vec<_>>());
+            println!(
+                "   (abs: {:?})",
+                r.contributions.iter().map(|c| (c * 1000.0).round() / 10.0).collect::<Vec<_>>()
+            );
         }
         println!();
         rows.extend(dataset_rows);

@@ -7,9 +7,7 @@
 use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
 use imcat_core::train;
 use imcat_eval::{cold_start_users, evaluate_user_subset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     dataset: String,
@@ -18,6 +16,7 @@ struct Row {
     ndcg: f64,
     normalized_recall: f64,
 }
+imcat_obs::impl_to_json!(Row { model, dataset, cold_users, recall, ndcg, normalized_recall });
 
 fn main() {
     let env = Env::from_env();

@@ -5,10 +5,8 @@
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin fig9_efficiency`
 
-use imcat_bench::{preset_by_key, run_one, write_json, Env, ModelKind};
-use serde::Serialize;
+use imcat_bench::{obs_finish, obs_init, preset_by_key, run_one, write_json, Env, ModelKind};
 
-#[derive(Serialize)]
 struct Point {
     model: String,
     dataset: String,
@@ -18,7 +16,19 @@ struct Point {
     seconds_per_epoch: f64,
 }
 
+imcat_obs::impl_to_json!(Point {
+    model,
+    dataset,
+    train_seconds,
+    epochs,
+    recall,
+    seconds_per_epoch
+});
+
 fn main() {
+    // The efficiency figure is about where training time goes, so telemetry
+    // (and its per-phase breakdown events) is always on here.
+    obs_init(true);
     let env = Env::from_env();
     let models = [
         ModelKind::Neumf,
@@ -60,4 +70,5 @@ fn main() {
     }
     let path = write_json("fig9_efficiency", &points);
     println!("wrote {}", path.display());
+    obs_finish();
 }

@@ -11,9 +11,8 @@
 
 use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
 use imcat_core::{train, ImcatConfig};
-use serde::Serialize;
 
-#[derive(Clone, Serialize)]
+#[derive(Clone)]
 struct SweepPoint {
     alpha: f32,
     beta: f32,
@@ -22,6 +21,7 @@ struct SweepPoint {
     epochs: usize,
     train_seconds: f64,
 }
+imcat_obs::impl_to_json!(SweepPoint { alpha, beta, gamma, val_recall, epochs, train_seconds });
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
@@ -32,12 +32,11 @@ fn main() {
     let env = Env::from_env();
     let dataset_key = flag(&args, "--dataset").unwrap_or_else(|| "del".into());
     let model_name = flag(&args, "--model").unwrap_or_else(|| "L-IMCAT".into());
-    let kind = ModelKind::parse(&model_name)
-        .unwrap_or_else(|| panic!("unknown model {model_name}"));
+    let kind =
+        ModelKind::parse(&model_name).unwrap_or_else(|| panic!("unknown model {model_name}"));
     assert!(kind.is_imcat(), "the sweep only applies to IMCAT variants");
     let grid_kind = flag(&args, "--grid").unwrap_or_else(|| "coarse".into());
-    let (alphas, betas, gammas): (Vec<f32>, Vec<f32>, Vec<f32>) = match grid_kind.as_str()
-    {
+    let (alphas, betas, gammas): (Vec<f32>, Vec<f32>, Vec<f32>) = match grid_kind.as_str() {
         "paper" => {
             let full = vec![1e-3, 1e-2, 1e-1, 1.0, 5.0, 10.0];
             (full.clone(), full.clone(), full)

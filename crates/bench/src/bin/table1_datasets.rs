@@ -4,9 +4,7 @@
 //! Environment: `IMCAT_SCALE` scales every preset.
 
 use imcat_bench::{all_preset_keys, preset_by_key, write_json, Env};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     users: usize,
@@ -19,13 +17,34 @@ struct Row {
     it_density_pct: f64,
     it_avg_degree: f64,
 }
+imcat_obs::impl_to_json!(Row {
+    dataset,
+    users,
+    items,
+    tags,
+    ui,
+    ui_density_pct,
+    ui_avg_degree,
+    it,
+    it_density_pct,
+    it_avg_degree
+});
 
 fn main() {
     let env = Env::from_env();
     println!("Table I: dataset statistics (synthetic presets, scale {}):\n", env.scale);
     println!(
         "{:<14} {:>7} {:>7} {:>6} {:>8} {:>9} {:>8} {:>8} {:>9} {:>8}",
-        "dataset", "#User", "#Item", "#Tag", "#UI", "UI-dens%", "UI-deg", "#IT", "IT-dens%", "IT-deg"
+        "dataset",
+        "#User",
+        "#Item",
+        "#Tag",
+        "#UI",
+        "UI-dens%",
+        "UI-deg",
+        "#IT",
+        "IT-dens%",
+        "IT-deg"
     );
     let mut rows = Vec::new();
     for key in all_preset_keys() {

@@ -6,13 +6,9 @@
 //!   cargo run --release -p imcat-bench --bin table2_overall [-- --datasets mv,del --models BPRMF,L-IMCAT]
 //! Environment: `IMCAT_SCALE`, `IMCAT_EPOCHS`, `IMCAT_TRIALS`, `IMCAT_DIM`.
 
-use imcat_bench::{
-    all_preset_keys, preset_by_key, run_trials, write_json, Env, ModelKind,
-};
+use imcat_bench::{all_preset_keys, preset_by_key, run_trials, write_json, Env, ModelKind};
 use imcat_eval::paired_t_test;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     model: String,
     dataset: String,
@@ -23,19 +19,21 @@ struct Cell {
     trials: usize,
 }
 
-#[derive(Serialize)]
 struct Report {
     cells: Vec<Cell>,
     significance: Vec<Significance>,
 }
 
-#[derive(Serialize)]
 struct Significance {
     dataset: String,
     best_baseline: String,
     t: f64,
     p: f64,
 }
+
+imcat_obs::impl_to_json!(Cell { model, dataset, recall, ndcg, train_seconds, epochs, trials });
+imcat_obs::impl_to_json!(Report { cells, significance });
+imcat_obs::impl_to_json!(Significance { dataset, best_baseline, t, p });
 
 fn parse_list(args: &[String], flag: &str) -> Option<Vec<String>> {
     args.iter()
@@ -45,6 +43,7 @@ fn parse_list(args: &[String], flag: &str) -> Option<Vec<String>> {
 }
 
 fn main() {
+    imcat_bench::obs_init(false);
     let args: Vec<String> = std::env::args().collect();
     let env = Env::from_env();
     let datasets: Vec<String> = parse_list(&args, "--datasets")
@@ -124,4 +123,5 @@ fn main() {
     }
     let path = write_json("table2_overall", &Report { cells, significance });
     println!("wrote {}", path.display());
+    imcat_bench::obs_finish();
 }

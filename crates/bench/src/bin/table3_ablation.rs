@@ -6,9 +6,7 @@
 
 use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
 use imcat_core::ImcatConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     variant: String,
@@ -16,6 +14,7 @@ struct Row {
     recall: f64,
     ndcg: f64,
 }
+imcat_obs::impl_to_json!(Row { model, variant, dataset, recall, ndcg });
 
 /// A named configuration transformer.
 type Variant = (&'static str, fn(ImcatConfig) -> ImcatConfig);

@@ -3,8 +3,8 @@
 use imcat_core::{Imcat, ImcatConfig};
 use imcat_data::SplitDataset;
 use imcat_models::{
-    Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet, Sgl,
-    Tgcn, TrainConfig,
+    Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet, Sgl, Tgcn,
+    TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,8 +49,8 @@ impl ModelKind {
     pub fn all() -> Vec<ModelKind> {
         use ModelKind::*;
         vec![
-            Bprmf, Neumf, LightGcn, Cfa, Dspr, Tgcn, Cke, RippleNet, Kgat, Kgin, Sgl,
-            Kgcl, BImcat, NImcat, LImcat,
+            Bprmf, Neumf, LightGcn, Cfa, Dspr, Tgcn, Cke, RippleNet, Kgat, Kgin, Sgl, Kgcl, BImcat,
+            NImcat, LImcat,
         ]
     }
 
@@ -77,9 +77,7 @@ impl ModelKind {
 
     /// Parses a display name (case-insensitive).
     pub fn parse(name: &str) -> Option<ModelKind> {
-        ModelKind::all()
-            .into_iter()
-            .find(|k| k.name().eq_ignore_ascii_case(name))
+        ModelKind::all().into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
     }
 
     /// True for the IMCAT variants.
@@ -106,9 +104,7 @@ impl ModelKind {
             ModelKind::Dspr => Box::new(Dspr::new(data, tcfg.clone(), &mut rng)),
             ModelKind::Tgcn => Box::new(Tgcn::new(data, tcfg.clone(), &mut rng)),
             ModelKind::Cke => Box::new(Cke::new(data, tcfg.clone(), &mut rng)),
-            ModelKind::RippleNet => {
-                Box::new(RippleNet::new(data, tcfg.clone(), &mut rng))
-            }
+            ModelKind::RippleNet => Box::new(RippleNet::new(data, tcfg.clone(), &mut rng)),
             ModelKind::Kgat => Box::new(Kgat::new(data, tcfg.clone(), &mut rng)),
             ModelKind::Kgin => Box::new(Kgin::new(data, tcfg.clone(), &mut rng)),
             ModelKind::Sgl => Box::new(Sgl::new(data, tcfg.clone(), &mut rng)),

@@ -1,4 +1,5 @@
-//! Experiment runner: datasets, training, measurement, and JSON reporting.
+//! Experiment runner: datasets, training, measurement, JSON reporting, and
+//! telemetry wiring (per-run phase breakdowns via `imcat-obs`).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -7,11 +8,39 @@ use imcat_core::{ImcatConfig, TrainerConfig};
 use imcat_data::{generate, SplitDataset, SynthConfig};
 use imcat_eval::{evaluate_per_user, EvalTarget, PerUserMetrics};
 use imcat_models::TrainConfig;
+use imcat_obs::{Json, ToJson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 use crate::registry::ModelKind;
+
+/// The disjoint training-phase spans recorded by the instrumented stack.
+/// `phase.eval` is excluded from `train_seconds` by the trainer, so the
+/// breakdown reports it separately.
+const TRAIN_PHASES: [&str; 5] =
+    ["phase.sampling", "phase.forward", "phase.backward", "phase.optimizer", "phase.refresh"];
+
+/// Enables telemetry for a benchmark binary. Honors `IMCAT_OBS` /
+/// `IMCAT_OBS_OUT`; pass `force` to switch it on regardless (the efficiency
+/// experiments always want the phase breakdown).
+pub fn obs_init(force: bool) {
+    imcat_obs::init_from_env();
+    if force {
+        imcat_obs::set_enabled(true);
+    }
+}
+
+/// Prints the telemetry summary table and writes the JSONL sink if
+/// `IMCAT_OBS_OUT` is set. No-op when telemetry is disabled.
+pub fn obs_finish() {
+    if !imcat_obs::enabled() {
+        return;
+    }
+    println!("{}", imcat_obs::summary());
+    if let Some(path) = imcat_obs::finalize() {
+        println!("telemetry written to {}", path.display());
+    }
+}
 
 /// Shared experiment environment, configurable through environment variables:
 ///
@@ -111,7 +140,7 @@ pub fn all_preset_keys() -> [&'static str; 7] {
 }
 
 /// One trained-and-evaluated run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Model display name.
     pub model: String,
@@ -129,6 +158,8 @@ pub struct RunResult {
     pub epochs: usize,
 }
 
+imcat_obs::impl_to_json!(RunResult { model, dataset, seed, recall, ndcg, train_seconds, epochs });
+
 /// Trains `kind` on `data` and evaluates test Recall/NDCG@20.
 pub fn run_one(
     kind: ModelKind,
@@ -139,11 +170,35 @@ pub fn run_one(
 ) -> (RunResult, PerUserMetrics) {
     let tcfg = env.train_config();
     let mut model = kind.build(data, &tcfg, icfg, seed);
+    let snap0 = imcat_obs::snapshot();
     let report = imcat_core::train(model.as_mut(), data, &env.trainer_config(seed));
     let t0 = Instant::now();
     let mut score_fn = |users: &[u32]| model.score_users(users);
     let per_user = evaluate_per_user(&mut score_fn, data, 20, EvalTarget::Test);
     let _ = t0;
+    if imcat_obs::enabled() {
+        // Snapshot delta isolates this run's phase times even when several
+        // runs share one process.
+        let snap1 = imcat_obs::snapshot();
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("model", Json::Str(kind.name().to_string())),
+            ("dataset", Json::Str(data.name.clone())),
+            ("seed", Json::Num(seed as f64)),
+            ("train_seconds", Json::Num(report.train_seconds)),
+        ];
+        let mut accounted = 0.0;
+        for phase in TRAIN_PHASES {
+            let dt = snap1.hist_sum(phase) - snap0.hist_sum(phase);
+            accounted += dt;
+            fields.push((phase, Json::Num(dt)));
+        }
+        fields.push(("phase.other", Json::Num((report.train_seconds - accounted).max(0.0))));
+        fields.push((
+            "phase.eval",
+            Json::Num(snap1.hist_sum("phase.eval") - snap0.hist_sum("phase.eval")),
+        ));
+        imcat_obs::emit("run_phase_breakdown", fields);
+    }
     let agg = per_user.aggregate();
     (
         RunResult {
@@ -186,13 +241,12 @@ pub fn run_trials(
     (results, pooled)
 }
 
-/// Writes a serializable report under `target/experiments/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+/// Writes a report under `target/experiments/<name>.json`.
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> PathBuf {
     let dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&dir).expect("cannot create target/experiments");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("report serialization failed");
-    std::fs::write(&path, json).expect("cannot write experiment JSON");
+    std::fs::write(&path, value.to_json().pretty()).expect("cannot write experiment JSON");
     path
 }
 

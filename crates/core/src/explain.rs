@@ -65,16 +65,10 @@ impl<B: Backbone> Imcat<B> {
         let mut contributions: Vec<IntentContribution> = (0..k_intents)
             .map(|k| {
                 let lo = k * dk;
-                let score: f32 = u_row[lo..lo + dk]
-                    .iter()
-                    .zip(&v_row[lo..lo + dk])
-                    .map(|(a, b)| a * b)
-                    .sum();
-                let supporting_tags: Vec<u32> = item_tags
-                    .iter()
-                    .copied()
-                    .filter(|&t| assignment[t as usize] == k)
-                    .collect();
+                let score: f32 =
+                    u_row[lo..lo + dk].iter().zip(&v_row[lo..lo + dk]).map(|(a, b)| a * b).sum();
+                let supporting_tags: Vec<u32> =
+                    item_tags.iter().copied().filter(|&t| assignment[t as usize] == k).collect();
                 IntentContribution {
                     intent: k,
                     score,
@@ -84,7 +78,7 @@ impl<B: Backbone> Imcat<B> {
             })
             .collect();
         let total = contributions.iter().map(|c| c.score).sum();
-        contributions.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        contributions.sort_by(|a, b| b.score.total_cmp(&a.score));
         Some(Explanation { user, item, total, contributions })
     }
 }
@@ -148,8 +142,7 @@ mod tests {
         for w in e.contributions.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
-        let item_tags: Vec<u32> =
-            data.item_tag.forward().row_indices(5).to_vec();
+        let item_tags: Vec<u32> = data.item_tag.forward().row_indices(5).to_vec();
         for c in &e.contributions {
             for &t in &c.supporting_tags {
                 assert_eq!(assignment[t as usize], c.intent);
@@ -157,8 +150,7 @@ mod tests {
             }
         }
         // Every tag of the item appears in exactly one intent's evidence.
-        let total_tags: usize =
-            e.contributions.iter().map(|c| c.supporting_tags.len()).sum();
+        let total_tags: usize = e.contributions.iter().map(|c| c.supporting_tags.len()).sum();
         assert_eq!(total_tags, item_tags.len());
         assert!(e.dominant_intent() < 4);
     }

@@ -28,12 +28,8 @@ pub fn soft_assignment_tensor(tags: &Tensor, centers: &Tensor, eta: f32) -> Tens
     for i in 0..t {
         let mut sum = 0.0;
         for j in 0..k {
-            let d2: f32 = tags
-                .row(i)
-                .iter()
-                .zip(centers.row(j))
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f32 =
+                tags.row(i).iter().zip(centers.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
             let v = (1.0 + d2 / eta).powf(-(eta + 1.0) / 2.0);
             q.set(i, j, v);
             sum += v;
@@ -83,11 +79,8 @@ pub fn target_distribution(q: &Tensor) -> Tensor {
 /// while gradients flow only through `ln Q`.
 pub fn kl_loss(tape: &mut Tape, q: Var, target: &Tensor) -> Var {
     assert_eq!(tape.value(q).shape(), target.shape(), "KL shape mismatch");
-    let entropy: f32 = target
-        .as_slice()
-        .iter()
-        .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
-        .sum();
+    let entropy: f32 =
+        target.as_slice().iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum();
     let lnq = tape.ln(q, 1e-12);
     let tgt = tape.constant(target.clone());
     let cross = tape.mul(tgt, lnq);
@@ -103,7 +96,7 @@ pub fn hard_assignment(q: &Tensor) -> Vec<usize> {
             q.row(l)
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(k, _)| k)
                 .unwrap_or(0)
         })
@@ -113,12 +106,7 @@ pub fn hard_assignment(q: &Tensor) -> Vec<usize> {
 /// Lloyd k-means over tag embeddings, used to initialize the cluster centers
 /// when the clustering phase activates (after pre-training).
 #[allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
-pub fn kmeans_centers(
-    tags: &Tensor,
-    k: usize,
-    iters: usize,
-    rng: &mut impl Rng,
-) -> Tensor {
+pub fn kmeans_centers(tags: &Tensor, k: usize, iters: usize, rng: &mut impl Rng) -> Tensor {
     let (t, d) = tags.shape();
     assert!(t >= k, "need at least K tags");
     // Init: distinct random tags.
@@ -139,12 +127,8 @@ pub fn kmeans_centers(
         for i in 0..t {
             let mut best = (0usize, f32::INFINITY);
             for j in 0..k {
-                let d2: f32 = tags
-                    .row(i)
-                    .iter()
-                    .zip(centers.row(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2: f32 =
+                    tags.row(i).iter().zip(centers.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
                 if d2 < best.1 {
                     best = (j, d2);
                 }
@@ -186,9 +170,7 @@ mod tests {
         let noise = normal(10, 3, 0.05, rng);
         for i in 0..10 {
             let center = if i < 5 { [3.0, 0.0, 0.0] } else { [-3.0, 0.0, 0.0] };
-            for (j, (o, &n)) in
-                t.row_mut(i).iter_mut().zip(noise.row(i)).enumerate()
-            {
+            for (j, (o, &n)) in t.row_mut(i).iter_mut().zip(noise.row(i)).enumerate() {
                 *o = center[j] + n;
             }
         }
@@ -199,8 +181,7 @@ mod tests {
     fn soft_assignment_rows_are_simplex() {
         let mut rng = StdRng::seed_from_u64(0);
         let tags = clustered_tags(&mut rng);
-        let centers =
-            Tensor::from_vec(2, 3, vec![3.0, 0.0, 0.0, -3.0, 0.0, 0.0]);
+        let centers = Tensor::from_vec(2, 3, vec![3.0, 0.0, 0.0, -3.0, 0.0, 0.0]);
         let q = soft_assignment_tensor(&tags, &centers, 1.0);
         for l in 0..10 {
             let s: f32 = q.row(l).iter().sum();
@@ -299,7 +280,7 @@ mod tests {
         let centers = kmeans_centers(&tags, 2, 10, &mut rng);
         // One center near +3, one near -3 on the first axis.
         let mut xs: Vec<f32> = (0..2).map(|j| centers.get(j, 0)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         assert!(xs[0] < -2.0, "centers: {xs:?}");
         assert!(xs[1] > 2.0, "centers: {xs:?}");
     }

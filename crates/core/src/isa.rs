@@ -20,8 +20,7 @@ impl SimilarSets {
     pub fn build(item_tag: &Csr, assignment: &[usize], k_intents: usize, delta: f32) -> Self {
         let sets = (0..k_intents)
             .map(|k| {
-                ClusterTagSets::from_assignment(item_tag, assignment, k)
-                    .all_similar_sets(delta)
+                ClusterTagSets::from_assignment(item_tag, assignment, k).all_similar_sets(delta)
             })
             .collect();
         Self { sets }
@@ -69,11 +68,7 @@ mod tests {
     fn toy() -> (Csr, Vec<usize>) {
         // Items 0 and 1 share cluster-0 tags heavily (Jaccard 2/3);
         // item 2 is distinct.
-        let it = Csr::from_adjacency(
-            3,
-            7,
-            &[vec![0, 1, 4], vec![0, 1, 2, 5], vec![3, 6]],
-        );
+        let it = Csr::from_adjacency(3, 7, &[vec![0, 1, 4], vec![0, 1, 2, 5], vec![3, 6]]);
         let assignment = vec![0, 0, 0, 0, 1, 1, 1];
         (it, assignment)
     }

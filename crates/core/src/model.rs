@@ -6,17 +6,15 @@
 
 use std::rc::Rc;
 
-use imcat_data::{BprSampler, ItemBatcher, SplitDataset};
+use imcat_data::{BprBatch, BprSampler, ItemBatcher, SplitDataset};
 use imcat_graph::Bipartite;
-use imcat_tensor::{xavier_uniform, Csr, ParamId, Tape, Tensor, Var};
 use imcat_models::{bpr_loss, Backbone, EpochStats, RecModel};
+use imcat_tensor::{xavier_uniform, Csr, ParamId, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{AlignMode, ClusteringMode, ImcatConfig};
-use crate::imca::{
-    cluster_tag_aggregator, masked_info_nce, relatedness_matrix, PositiveMask,
-};
+use crate::imca::{cluster_tag_aggregator, masked_info_nce, relatedness_matrix, PositiveMask};
 use crate::irm::{
     hard_assignment, kl_loss, kmeans_centers, soft_assignment, soft_assignment_tensor,
     target_distribution,
@@ -32,6 +30,24 @@ struct ClusterState {
     m: Tensor,
     /// ISA similar sets (§IV-C); empty when ISA is disabled.
     similar: Option<SimilarSets>,
+}
+
+/// Per-epoch sums of the scaled terms of Eq. 18. The scaled contributions
+/// add up to the total epoch loss exactly, so telemetry consumers can verify
+/// the decomposition (`uv + vt + ca + kl + independence == total`).
+#[derive(Clone, Copy, Debug, Default)]
+struct TermSums {
+    uv: f64,
+    vt: f64,
+    ca: f64,
+    kl: f64,
+    independence: f64,
+}
+
+impl TermSums {
+    fn total(&self) -> f64 {
+        self.uv + self.vt + self.ca + self.kl + self.independence
+    }
 }
 
 /// IMCAT wrapped around a recommendation backbone.
@@ -58,35 +74,28 @@ pub struct Imcat<B: Backbone> {
     epoch: usize,
     steps_since_refresh: usize,
     refresh_count: u64,
+    terms: TermSums,
 }
 
 impl<B: Backbone> Imcat<B> {
     /// Wraps `backbone`, registering IMCAT's parameters in its store.
-    pub fn new(
-        mut backbone: B,
-        data: &SplitDataset,
-        cfg: ImcatConfig,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn new(mut backbone: B, data: &SplitDataset, cfg: ImcatConfig, rng: &mut StdRng) -> Self {
         let d = backbone.dim();
         cfg.validate(d);
         let dk = d / cfg.k_intents;
         {
             let store = backbone.store_mut();
             let tag_emb = store.add("imcat.tag_emb", xavier_uniform(data.n_tags(), d, rng));
-            let centers =
-                store.add("imcat.centers", xavier_uniform(cfg.k_intents, d, rng));
+            let centers = store.add("imcat.centers", xavier_uniform(cfg.k_intents, d, rng));
             let mut proj = Vec::with_capacity(cfg.k_intents);
             let mut nlt = Vec::with_capacity(cfg.k_intents);
             for k in 0..cfg.k_intents {
                 let w0 = store.add(format!("imcat.proj{k}.w"), xavier_uniform(d, dk, rng));
                 let b0 = store.add(format!("imcat.proj{k}.b"), Tensor::zeros(1, dk));
                 proj.push((w0, b0));
-                let w1 =
-                    store.add(format!("imcat.nlt{k}.w1"), xavier_uniform(dk, dk, rng));
+                let w1 = store.add(format!("imcat.nlt{k}.w1"), xavier_uniform(dk, dk, rng));
                 let b1 = store.add(format!("imcat.nlt{k}.b1"), Tensor::zeros(1, dk));
-                let w2 =
-                    store.add(format!("imcat.nlt{k}.w2"), xavier_uniform(dk, dk, rng));
+                let w2 = store.add(format!("imcat.nlt{k}.w2"), xavier_uniform(dk, dk, rng));
                 nlt.push((w1, b1, w2));
             }
             backbone.rebuild_optimizer();
@@ -111,6 +120,7 @@ impl<B: Backbone> Imcat<B> {
                 epoch: 0,
                 steps_since_refresh: 0,
                 refresh_count: 0,
+                terms: TermSums::default(),
                 backbone,
             }
         }
@@ -155,10 +165,7 @@ impl<B: Backbone> Imcat<B> {
     /// Restores parameters from a checkpoint produced by
     /// [`Imcat::save_checkpoint`] on an identically-configured model, then
     /// refreshes the cluster-derived state.
-    pub fn load_checkpoint(
-        &mut self,
-        path: impl AsRef<std::path::Path>,
-    ) -> std::io::Result<()> {
+    pub fn load_checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let loaded = imcat_tensor::load_params_from(path)?;
         imcat_tensor::restore_into(self.backbone.store_mut(), &loaded)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
@@ -171,12 +178,13 @@ impl<B: Backbone> Imcat<B> {
     /// Initializes cluster centers by k-means on the current tag embeddings
     /// (invoked automatically when pre-training ends).
     pub fn init_clusters(&mut self, rng: &mut StdRng) {
-        let centers = kmeans_centers(
-            self.backbone.store().value(self.tag_emb),
-            self.cfg.k_intents,
-            10,
-            rng,
-        );
+        // The k-means seeding is timed separately from refresh_clusters, which
+        // opens its own `phase.refresh` span — nesting the same span would
+        // double-count the refresh time.
+        let centers = {
+            let _sp = imcat_obs::span("phase.refresh");
+            kmeans_centers(self.backbone.store().value(self.tag_emb), self.cfg.k_intents, 10, rng)
+        };
         *self.backbone.store_mut().value_mut(self.centers) = centers;
         self.refresh_clusters();
     }
@@ -185,6 +193,10 @@ impl<B: Backbone> Imcat<B> {
     /// (paper: every 10 iterations). In the periodic-k-means design ablation
     /// the centers themselves are recomputed here instead of being learned.
     pub fn refresh_clusters(&mut self) {
+        let _sp = imcat_obs::span("phase.refresh");
+        if _sp.active() {
+            imcat_obs::counter_add("cluster.refreshes", 1);
+        }
         if self.cfg.clustering == ClusteringMode::PeriodicKmeans {
             self.refresh_count += 1;
             let mut rng = StdRng::seed_from_u64(self.refresh_count);
@@ -247,40 +259,33 @@ impl<B: Backbone> Imcat<B> {
 
     /// One pre-training step: `L_UV + α·L_VT` only.
     fn step_pretrain(&mut self, rng: &mut StdRng) -> f32 {
+        // Sampling runs before the `phase.forward` span opens so the two
+        // phases stay disjoint in the telemetry breakdown.
+        let ui = self.ui_sampler.sample(self.batch_size, rng);
+        let vt = self.vt_sampler.sample(self.batch_size, rng);
         let mut tape = Tape::new();
+        let sp_fwd = imcat_obs::span("phase.forward");
         let (u_all, v_all) = self.backbone.embed_all(&mut tape);
-        let loss = self.ranking_losses(&mut tape, u_all, v_all, rng);
+        let loss = self.ranking_losses(&mut tape, u_all, v_all, &ui, &vt);
         let value = tape.value(loss).item();
+        drop(sp_fwd);
         tape.backward(loss, self.backbone.store_mut());
         self.backbone.opt_step();
         value
     }
 
-    /// `L_UV + α·L_VT` on an existing tape.
+    /// `L_UV + α·L_VT` on an existing tape, over pre-drawn triplet batches.
     fn ranking_losses(
-        &self,
+        &mut self,
         tape: &mut Tape,
         u_all: Var,
         v_all: Var,
-        rng: &mut StdRng,
+        batch: &BprBatch,
+        vt: &BprBatch,
     ) -> Var {
-        let batch = self.ui_sampler.sample(self.batch_size, rng);
-        let sp = self.backbone.score_pairs(
-            tape,
-            u_all,
-            &batch.anchors,
-            v_all,
-            &batch.positives,
-        );
-        let sn = self.backbone.score_pairs(
-            tape,
-            u_all,
-            &batch.anchors,
-            v_all,
-            &batch.negatives,
-        );
+        let sp = self.backbone.score_pairs(tape, u_all, &batch.anchors, v_all, &batch.positives);
+        let sn = self.backbone.score_pairs(tape, u_all, &batch.anchors, v_all, &batch.negatives);
         let l_uv = bpr_loss(tape, sp, sn);
-        let vt = self.vt_sampler.sample(self.batch_size, rng);
         let store = self.backbone.store();
         let t_all = tape.leaf(store, self.tag_emb);
         let vi = tape.gather_rows(v_all, &vt.anchors);
@@ -290,6 +295,8 @@ impl<B: Backbone> Imcat<B> {
         let sn_t = tape.rowwise_dot(vi, tn);
         let l_vt = bpr_loss(tape, sp_t, sn_t);
         let l_vt = tape.scale(l_vt, self.cfg.alpha);
+        self.terms.uv += tape.value(l_uv).item() as f64;
+        self.terms.vt += tape.value(l_vt).item() as f64;
         tape.add(l_uv, l_vt)
     }
 
@@ -320,9 +327,7 @@ impl<B: Backbone> Imcat<B> {
             if let Some(similar) = state.similar.as_ref() {
                 for (pos, &j) in items.iter().enumerate() {
                     let mut cols = vec![pos];
-                    for extra in
-                        similar.sample(k, j as usize, self.cfg.isa_max_pos, rng)
-                    {
+                    for extra in similar.sample(k, j as usize, self.cfg.isa_max_pos, rng) {
                         let col = match targets.iter().position(|&t| t == extra) {
                             Some(c) => c,
                             None => {
@@ -371,10 +376,7 @@ impl<B: Backbone> Imcat<B> {
                 AlignMode::None => unreachable!(),
             };
             let (anchors, z) = if self.cfg.use_nlt {
-                (
-                    self.nlt_forward(tape, k, anchors),
-                    self.nlt_forward(tape, k, z),
-                )
+                (self.nlt_forward(tape, k, anchors), self.nlt_forward(tape, k, z))
             } else {
                 (anchors, z)
             };
@@ -415,13 +417,16 @@ impl<B: Backbone> Imcat<B> {
     /// One full training step of Eq. 18.
     fn step_full(&mut self, rng: &mut StdRng) -> f32 {
         let items = self.next_item_batch(rng);
+        let ui = self.ui_sampler.sample(self.batch_size, rng);
+        let vt = self.vt_sampler.sample(self.batch_size, rng);
         let mut tape = Tape::new();
+        let sp_fwd = imcat_obs::span("phase.forward");
         let (u_all, v_all) = self.backbone.embed_all(&mut tape);
-        let mut loss = self.ranking_losses(&mut tape, u_all, v_all, rng);
+        let mut loss = self.ranking_losses(&mut tape, u_all, v_all, &ui, &vt);
         if self.cfg.beta > 0.0 {
-            if let Some(l_ca) = self.alignment_loss(&mut tape, u_all, v_all, &items, rng)
-            {
+            if let Some(l_ca) = self.alignment_loss(&mut tape, u_all, v_all, &items, rng) {
                 let l_ca = tape.scale(l_ca, self.cfg.beta);
+                self.terms.ca += tape.value(l_ca).item() as f64;
                 loss = tape.add(loss, l_ca);
             }
         }
@@ -438,13 +443,16 @@ impl<B: Backbone> Imcat<B> {
             let q = soft_assignment(&mut tape, tv, cv, self.cfg.eta);
             let l_kl = kl_loss(&mut tape, q, &target);
             let l_kl = tape.scale(l_kl, self.cfg.gamma);
+            self.terms.kl += tape.value(l_kl).item() as f64;
             loss = tape.add(loss, l_kl);
         }
         if let Some(ind) = self.independence_loss(&mut tape) {
             let ind = tape.scale(ind, self.cfg.independence_weight);
+            self.terms.independence += tape.value(ind).item() as f64;
             loss = tape.add(loss, ind);
         }
         let value = tape.value(loss).item();
+        drop(sp_fwd);
         tape.backward(loss, self.backbone.store_mut());
         self.backbone.opt_step();
         self.steps_since_refresh += 1;
@@ -468,6 +476,7 @@ impl<B: Backbone> RecModel for Imcat<B> {
     }
 
     fn train_epoch(&mut self, rng: &mut StdRng) -> EpochStats {
+        self.terms = TermSums::default();
         let batches = self.ui_sampler.batches_per_epoch(self.batch_size);
         let mut total = 0.0;
         if self.pretraining() {
@@ -482,7 +491,30 @@ impl<B: Backbone> RecModel for Imcat<B> {
                 total += self.step_full(rng);
             }
         }
+        let epoch = self.epoch;
         self.epoch += 1;
+        if imcat_obs::enabled() {
+            let n = batches as f64;
+            let t = self.terms;
+            imcat_obs::gauge_set("loss.uv", t.uv / n);
+            imcat_obs::gauge_set("loss.vt", t.vt / n);
+            imcat_obs::gauge_set("loss.ca", t.ca / n);
+            imcat_obs::gauge_set("loss.kl", t.kl / n);
+            imcat_obs::gauge_set("loss.independence", t.independence / n);
+            imcat_obs::emit(
+                "loss_terms",
+                vec![
+                    ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                    ("model", imcat_obs::Json::Str(self.name())),
+                    ("uv", imcat_obs::Json::Num(t.uv / n)),
+                    ("vt", imcat_obs::Json::Num(t.vt / n)),
+                    ("ca", imcat_obs::Json::Num(t.ca / n)),
+                    ("kl", imcat_obs::Json::Num(t.kl / n)),
+                    ("independence", imcat_obs::Json::Num(t.independence / n)),
+                    ("total", imcat_obs::Json::Num(t.total() / n)),
+                ],
+            );
+        }
         EpochStats { loss: total / batches as f32, batches }
     }
 
@@ -526,7 +558,7 @@ mod tests {
 
     #[test]
     fn b_imcat_improves_over_training() {
-        let data = tiny_split(202);
+        let data = tiny_split(232);
         let mut rng = StdRng::seed_from_u64(0);
         let bb = Bprmf::new(&data, TrainConfig::default(), &mut rng);
         let model = Imcat::new(bb, &data, quick_cfg(), &mut rng);
@@ -555,11 +587,26 @@ mod tests {
     fn names_follow_paper_convention() {
         let data = tiny_split(205);
         let mut rng = StdRng::seed_from_u64(0);
-        let b = Imcat::new(Bprmf::new(&data, TrainConfig::default(), &mut rng), &data, quick_cfg(), &mut rng);
+        let b = Imcat::new(
+            Bprmf::new(&data, TrainConfig::default(), &mut rng),
+            &data,
+            quick_cfg(),
+            &mut rng,
+        );
         assert_eq!(b.name(), "B-IMCAT");
-        let n = Imcat::new(Neumf::new(&data, TrainConfig::default(), &mut rng), &data, quick_cfg(), &mut rng);
+        let n = Imcat::new(
+            Neumf::new(&data, TrainConfig::default(), &mut rng),
+            &data,
+            quick_cfg(),
+            &mut rng,
+        );
         assert_eq!(n.name(), "N-IMCAT");
-        let l = Imcat::new(LightGcn::new(&data, TrainConfig::default(), &mut rng), &data, quick_cfg(), &mut rng);
+        let l = Imcat::new(
+            LightGcn::new(&data, TrainConfig::default(), &mut rng),
+            &data,
+            quick_cfg(),
+            &mut rng,
+        );
         assert_eq!(l.name(), "L-IMCAT");
     }
 
@@ -589,7 +636,8 @@ mod tests {
         let data = tiny_split(207);
         let mut rng = StdRng::seed_from_u64(0);
         let bb = Bprmf::new(&data, TrainConfig::default(), &mut rng);
-        let mut model = Imcat::new(bb, &data, ImcatConfig { pretrain_epochs: 0, ..quick_cfg() }, &mut rng);
+        let mut model =
+            Imcat::new(bb, &data, ImcatConfig { pretrain_epochs: 0, ..quick_cfg() }, &mut rng);
         model.train_epoch(&mut rng);
         let m = model.relatedness().unwrap();
         assert_eq!(m.shape(), (data.n_items(), 4));

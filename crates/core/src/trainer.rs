@@ -3,6 +3,7 @@
 //! 100 epochs; both scaled down by default for CPU runs) and wall-clock
 //! accounting for the efficiency analysis of Fig. 9.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use imcat_data::SplitDataset;
@@ -51,39 +52,51 @@ pub struct TrainReport {
 /// Validation Recall@N (training items masked), shared by the trainer and the
 /// experiment harness.
 pub fn validation_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) -> f64 {
-    let users: Vec<u32> = (0..data.n_users() as u32)
-        .filter(|&u| !data.val[u as usize].is_empty())
-        .collect();
+    let users: Vec<u32> =
+        (0..data.n_users() as u32).filter(|&u| !data.val[u as usize].is_empty()).collect();
     if users.is_empty() {
         return 0.0;
     }
+    let _sp = imcat_obs::span("phase.eval");
     let scores = model.score_users(&users);
     let mut total = 0.0;
+    let mut nonfinite = 0u64;
+    let mut train_set: HashSet<u32> = HashSet::new();
     for (row, &u) in users.iter().enumerate() {
-        let train = data.train_items(u as usize);
+        train_set.clear();
+        train_set.extend(data.train_items(u as usize).iter().copied());
         let mut ranked: Vec<(usize, f32)> = scores
             .row(row)
             .iter()
             .copied()
             .enumerate()
-            .filter(|&(j, _)| !train.contains(&(j as u32)))
+            .filter(|&(j, _)| !train_set.contains(&(j as u32)))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let top: Vec<usize> = ranked.iter().take(n).map(|&(j, _)| j).collect();
+        nonfinite += ranked.iter().filter(|(_, s)| !s.is_finite()).count() as u64;
+        // total_cmp keeps the ranking well-defined even when a diverged model
+        // produces NaN scores; the guard event below makes that visible.
+        let top_n = n.min(ranked.len());
+        if top_n > 0 && top_n < ranked.len() {
+            ranked.select_nth_unstable_by(top_n - 1, |a, b| b.1.total_cmp(&a.1));
+        }
+        let top: HashSet<usize> = ranked[..top_n].iter().map(|&(j, _)| j).collect();
         let val = &data.val[u as usize];
         let hits = val.iter().filter(|&&t| top.contains(&(t as usize))).count();
         total += hits as f64 / val.len() as f64;
+    }
+    if nonfinite > 0 && imcat_obs::enabled() {
+        imcat_obs::counter_add("guard.nonfinite_score", nonfinite);
+        imcat_obs::emit(
+            "nonfinite_scores",
+            vec![("elements", imcat_obs::Json::Num(nonfinite as f64))],
+        );
     }
     total / users.len() as f64
 }
 
 /// Trains `model` until early stopping or `max_epochs`, reporting the best
 /// validation recall and wall-clock time.
-pub fn train(
-    model: &mut dyn RecModel,
-    data: &SplitDataset,
-    cfg: &TrainerConfig,
-) -> TrainReport {
+pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut best = f64::MIN;
     let mut since_best = 0usize;
@@ -91,21 +104,57 @@ pub fn train(
     let mut final_loss = 0.0;
     let mut curve = Vec::new();
     let mut epochs_run = 0;
+    let telemetry = imcat_obs::enabled();
     for epoch in 1..=cfg.max_epochs {
         let t0 = Instant::now();
         let stats = model.train_epoch(&mut rng);
-        train_seconds += t0.elapsed().as_secs_f64();
+        let epoch_seconds = t0.elapsed().as_secs_f64();
+        train_seconds += epoch_seconds;
         final_loss = stats.loss;
         epochs_run = epoch;
+        if telemetry {
+            if !stats.loss.is_finite() {
+                imcat_obs::counter_add("guard.nonfinite_loss", 1);
+            }
+            imcat_obs::emit(
+                "epoch",
+                vec![
+                    ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                    ("loss", imcat_obs::Json::Num(stats.loss as f64)),
+                    ("batches", imcat_obs::Json::Num(stats.batches as f64)),
+                    ("seconds", imcat_obs::Json::Num(epoch_seconds)),
+                ],
+            );
+        }
         if epoch % cfg.eval_every == 0 {
             let recall = validation_recall(model, data, cfg.eval_at);
             curve.push((epoch, recall));
+            if telemetry {
+                imcat_obs::gauge_set("eval.val_recall", recall);
+                imcat_obs::emit(
+                    "eval",
+                    vec![
+                        ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                        ("recall", imcat_obs::Json::Num(recall)),
+                        ("best", imcat_obs::Json::Num(best.max(recall).max(0.0))),
+                    ],
+                );
+            }
             if recall > best {
                 best = recall;
                 since_best = 0;
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
+                    if telemetry {
+                        imcat_obs::emit(
+                            "early_stop",
+                            vec![
+                                ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                                ("best_recall", imcat_obs::Json::Num(best.max(0.0))),
+                            ],
+                        );
+                    }
                     break;
                 }
             }
@@ -132,7 +181,8 @@ mod tests {
         let data = tiny_split(301);
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
-        let cfg = TrainerConfig { max_epochs: 20, eval_every: 5, patience: 2, ..Default::default() };
+        let cfg =
+            TrainerConfig { max_epochs: 20, eval_every: 5, patience: 2, ..Default::default() };
         let report = train(&mut model, &data, &cfg);
         assert_eq!(report.model, "BPRMF");
         assert!(report.epochs_run >= 5);
@@ -147,7 +197,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
         // Patience 1 with eval every epoch: stops quickly once flat.
-        let cfg = TrainerConfig { max_epochs: 200, eval_every: 1, patience: 1, ..Default::default() };
+        let cfg =
+            TrainerConfig { max_epochs: 200, eval_every: 1, patience: 1, ..Default::default() };
         let report = train(&mut model, &data, &cfg);
         assert!(report.epochs_run < 200, "early stopping never fired");
     }

@@ -1,9 +1,7 @@
 //! Property-based tests for the IMCAT core invariants.
 
 use imcat_core::imca::{cluster_tag_aggregator, relatedness_matrix, PositiveMask};
-use imcat_core::irm::{
-    hard_assignment, soft_assignment_tensor, target_distribution,
-};
+use imcat_core::irm::{hard_assignment, soft_assignment_tensor, target_distribution};
 use imcat_core::isa::SimilarSets;
 use imcat_tensor::{normal, Csr};
 use proptest::prelude::*;
@@ -16,8 +14,7 @@ fn random_item_tags(items: usize, tags: usize) -> impl Strategy<Value = Csr> {
         items,
     )
     .prop_map(move |sets| {
-        let adj: Vec<Vec<u32>> =
-            sets.into_iter().map(|s| s.into_iter().collect()).collect();
+        let adj: Vec<Vec<u32>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         Csr::from_adjacency(items, tags, &adj)
     })
 }

@@ -1,0 +1,174 @@
+//! Offline drop-in replacement for the subset of the `criterion 0.5` API this
+//! workspace's benches use. The build container has no crates.io access, so
+//! the workspace resolves `criterion` to this path crate.
+//!
+//! Measurement model: each benchmark closure is warmed up briefly, then timed
+//! for [`Criterion::sample_size`] samples whose iteration count is chosen so
+//! one sample takes ≳1 ms. Mean, minimum, and maximum per-iteration times are
+//! printed — no plots, no statistics beyond that. This keeps `cargo bench`
+//! runnable (and comparable run-to-run) without any external dependency.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { samples: self.sample_size, report: None };
+        f(&mut b);
+        b.print(name);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { samples: self.c.sample_size, report: None };
+        f(&mut b, input);
+        b.print(&format!("{}/{}", self.name, id.label));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its return value alive so the work is not
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the per-sample iteration count on a single warmup run.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed() / iters as u32;
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        self.report =
+            Some(Report { mean: total / self.samples as u32, min, max, iters_per_sample: iters });
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{name:<45} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples x {} iters)",
+                r.mean, r.min, r.max, self.samples, r.iters_per_sample,
+            ),
+            None => println!("{name:<45} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).product::<u32>())
+        });
+        g.finish();
+    }
+}

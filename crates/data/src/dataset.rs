@@ -88,8 +88,7 @@ impl Dataset {
                 continue;
             }
             let n_test = if n >= 2 { ((n as f64 * te).round() as usize).max(1) } else { 0 };
-            let n_val =
-                if n - n_test >= 2 { (n as f64 * va).round() as usize } else { 0 };
+            let n_val = if n - n_test >= 2 { (n as f64 * va).round() as usize } else { 0 };
             let n_train = n - n_test - n_val;
             debug_assert!(n_train >= 1);
             let mut it = items.into_iter();
@@ -100,8 +99,7 @@ impl Dataset {
             val.push(va_items);
             test.push(te_items);
         }
-        let train =
-            Csr::from_adjacency(n_users, self.n_items(), &train_adj);
+        let train = Csr::from_adjacency(n_users, self.n_items(), &train_adj);
         SplitDataset {
             name: self.name.clone(),
             train: Bipartite::new(train),
@@ -161,9 +159,7 @@ impl SplitDataset {
 
     /// Users with a non-empty test set (the evaluable population).
     pub fn test_users(&self) -> Vec<u32> {
-        (0..self.n_users() as u32)
-            .filter(|&u| !self.test[u as usize].is_empty())
-            .collect()
+        (0..self.n_users() as u32).filter(|&u| !self.test[u as usize].is_empty()).collect()
     }
 }
 
@@ -218,15 +214,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy_dataset() -> Dataset {
-        let ui = Csr::from_adjacency(
-            3,
-            10,
-            &[
-                (0..10).collect(),
-                vec![0, 1, 2, 3, 4],
-                vec![7, 8],
-            ],
-        );
+        let ui = Csr::from_adjacency(3, 10, &[(0..10).collect(), vec![0, 1, 2, 3, 4], vec![7, 8]]);
         let it = Csr::from_adjacency(10, 4, &(0..10).map(|i| vec![i % 4]).collect::<Vec<_>>());
         Dataset::new("toy", ui, it)
     }

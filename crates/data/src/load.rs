@@ -106,17 +106,14 @@ pub fn build_dataset(name: &str, raw: RawData, filter: FilterConfig) -> Dataset 
             *ideg.entry(i).or_default() += 1;
         }
         let before = ui.len();
-        ui.retain(|&(u, i)| {
-            udeg[&u] >= filter.min_degree && ideg[&i] >= filter.min_degree
-        });
+        ui.retain(|&(u, i)| udeg[&u] >= filter.min_degree && ideg[&i] >= filter.min_degree);
         if ui.len() == before {
             break;
         }
     }
 
     // Keep tags on surviving items with enough coverage.
-    let surviving_items: std::collections::HashSet<u64> =
-        ui.iter().map(|&(_, i)| i).collect();
+    let surviving_items: std::collections::HashSet<u64> = ui.iter().map(|&(_, i)| i).collect();
     it.retain(|&(i, _)| surviving_items.contains(&i));
     let mut tag_items: HashMap<u64, usize> = HashMap::new();
     for &(_, t) in &it {
@@ -138,8 +135,7 @@ pub fn build_dataset(name: &str, raw: RawData, filter: FilterConfig) -> Dataset 
         user_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
     let iidx: HashMap<u64, u32> =
         item_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
-    let tidx: HashMap<u64, u32> =
-        tag_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
+    let tidx: HashMap<u64, u32> = tag_ids.iter().enumerate().map(|(k, &v)| (v, k as u32)).collect();
 
     let ui_triplets: Vec<(u32, u32, f32)> =
         ui.iter().map(|&(u, i)| (uidx[&u], iidx[&i], 1.0)).collect();
@@ -166,9 +162,7 @@ mod tests {
     #[test]
     fn build_dataset_indexes_contiguously() {
         let raw = RawData {
-            user_item: (0..4)
-                .flat_map(|u| (0..4).map(move |i| (u * 100, i * 7)))
-                .collect(),
+            user_item: (0..4).flat_map(|u| (0..4).map(move |i| (u * 100, i * 7))).collect(),
             item_tag: (0..4).flat_map(|i| (0..5).map(move |t| (i * 7, t))).collect(),
         };
         let filter = FilterConfig { min_degree: 2, min_tag_items: 2 };
@@ -183,13 +177,9 @@ mod tests {
     fn kcore_filter_removes_sparse_entities() {
         // User 9 has a single interaction and must be dropped; dropping it
         // leaves item 99 with zero interactions, which must cascade.
-        let mut ui: Vec<(u64, u64)> =
-            (0..5).flat_map(|u| (0..5).map(move |i| (u, i))).collect();
+        let mut ui: Vec<(u64, u64)> = (0..5).flat_map(|u| (0..5).map(move |i| (u, i))).collect();
         ui.push((9, 99));
-        let raw = RawData {
-            user_item: ui,
-            item_tag: (0..5).map(|i| (i, 0)).collect(),
-        };
+        let raw = RawData { user_item: ui, item_tag: (0..5).map(|i| (i, 0)).collect() };
         let filter = FilterConfig { min_degree: 3, min_tag_items: 1 };
         let d = build_dataset("t", raw, filter);
         assert_eq!(d.n_users(), 5);

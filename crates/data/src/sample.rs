@@ -55,8 +55,7 @@ impl BprSampler {
 
     /// Sampler over any bipartite incidence.
     pub fn from_bipartite(graph: Bipartite) -> Self {
-        let edges: Vec<(u32, u32)> =
-            graph.forward().iter().map(|(a, b, _)| (a, b)).collect();
+        let edges: Vec<(u32, u32)> = graph.forward().iter().map(|(a, b, _)| (a, b)).collect();
         let n_cols = graph.n_cols();
         Self { edges, graph, n_cols }
     }
@@ -73,6 +72,11 @@ impl BprSampler {
 
     /// Draws a batch of triplets with uniform negatives.
     pub fn sample(&self, batch_size: usize, rng: &mut impl Rng) -> BprBatch {
+        let _sp = imcat_obs::span("phase.sampling");
+        if _sp.active() {
+            imcat_obs::counter_add("sampler.bpr.batches", 1);
+            imcat_obs::counter_add("sampler.bpr.triplets", batch_size as u64);
+        }
         assert!(!self.edges.is_empty(), "cannot sample from an empty graph");
         assert!(self.n_cols >= 2, "need at least two candidate columns");
         let mut batch = BprBatch {
@@ -119,6 +123,10 @@ impl ItemBatcher {
 
     /// Produces the batches of one epoch in random order.
     pub fn epoch(&self, rng: &mut impl Rng) -> Vec<Vec<u32>> {
+        let _sp = imcat_obs::span("phase.sampling");
+        if _sp.active() {
+            imcat_obs::counter_add("sampler.item.epochs", 1);
+        }
         let mut ids: Vec<u32> = (0..self.n_items as u32).collect();
         for i in (1..ids.len()).rev() {
             ids.swap(i, rng.gen_range(0..=i));
@@ -142,15 +150,9 @@ mod tests {
         let ui = Csr::from_adjacency(
             4,
             12,
-            &[
-                (0..8).collect(),
-                (2..10).collect(),
-                vec![0, 5, 10, 11],
-                (4..12).collect(),
-            ],
+            &[(0..8).collect(), (2..10).collect(), vec![0, 5, 10, 11], (4..12).collect()],
         );
-        let it =
-            Csr::from_adjacency(12, 3, &(0..12).map(|i| vec![i % 3]).collect::<Vec<_>>());
+        let it = Csr::from_adjacency(12, 3, &(0..12).map(|i| vec![i % 3]).collect::<Vec<_>>());
         let d = Dataset::new("toy", ui, it);
         let mut rng = StdRng::seed_from_u64(0);
         d.split((0.7, 0.1, 0.2), &mut rng)

@@ -323,13 +323,11 @@ pub fn generate(cfg: &SynthConfig, seed: u64) -> SynthData {
     // 5. Per-intent item sampling tables: weight = popularity * intent share.
     let tables: Vec<CumTable> = (0..k)
         .map(|intent| {
-            let w: Vec<f32> =
-                (0..cfg.n_items).map(|j| item_pop[j] * item_mix[j][intent]).collect();
+            let w: Vec<f32> = (0..cfg.n_items).map(|j| item_pop[j] * item_mix[j][intent]).collect();
             CumTable::new(&w)
         })
         .collect();
-    let uniform_table =
-        CumTable::new(&vec![1.0; cfg.n_items]);
+    let uniform_table = CumTable::new(&vec![1.0; cfg.n_items]);
 
     // 6. Interaction quotas: Zipf user activity, cold users overridden.
     let mut user_ranks: Vec<usize> = (0..cfg.n_users).collect();
@@ -400,7 +398,7 @@ impl CumTable {
     fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cum.last().unwrap();
         let x = rng.gen_range(0.0..total);
-        match self.cum.binary_search_by(|&c| c.partial_cmp(&x).unwrap()) {
+        match self.cum.binary_search_by(|&c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(self.cum.len() - 1),
             Err(i) => i,
         }
@@ -530,23 +528,14 @@ mod tests {
         let head: usize = degs.iter().take(degs.len() / 10).sum();
         let total: usize = degs.iter().sum();
         // Top 10% of items should hold well over 10% of interactions.
-        assert!(
-            head as f64 > 0.22 * total as f64,
-            "head share too small: {head}/{total}"
-        );
+        assert!(head as f64 > 0.22 * total as f64, "head share too small: {head}/{total}");
     }
 
     #[test]
     fn cold_users_exist() {
         let cfg = SynthConfig::tiny();
         let data = generate(&cfg, 4);
-        let cold = data
-            .dataset
-            .user_item
-            .row_degrees()
-            .iter()
-            .filter(|&&d| d < 10)
-            .count();
+        let cold = data.dataset.user_item.row_degrees().iter().filter(|&&d| d < 10).count();
         assert!(cold >= 2, "expected some cold users, found {cold}");
     }
 

@@ -6,11 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn random_dataset(
-    users: usize,
-    items: usize,
-    tags: usize,
-) -> impl Strategy<Value = Dataset> {
+fn random_dataset(users: usize, items: usize, tags: usize) -> impl Strategy<Value = Dataset> {
     let ui = proptest::collection::vec(
         proptest::collection::btree_set(0..items as u32, 1..items.min(10)),
         users,

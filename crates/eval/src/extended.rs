@@ -76,11 +76,7 @@ pub fn evaluate_extended(
             out.recall += hits as f64 / truth.len() as f64;
             out.precision += hits as f64 / n.max(1) as f64;
             out.hit_rate += if hits > 0 { 1.0 } else { 0.0 };
-            out.map += if truth.is_empty() {
-                0.0
-            } else {
-                ap / truth.len().min(n) as f64
-            };
+            out.map += if truth.is_empty() { 0.0 } else { ap / truth.len().min(n) as f64 };
             out.mrr += first_hit_rank.map_or(0.0, |r| 1.0 / (r + 1) as f64);
             out.intra_list_diversity += intra_list_diversity(data, &top);
         }
@@ -92,8 +88,7 @@ pub fn evaluate_extended(
     out.map /= nf;
     out.mrr /= nf;
     out.intra_list_diversity /= nf;
-    out.coverage = recommended.iter().filter(|&&b| b).count() as f64
-        / data.n_items().max(1) as f64;
+    out.coverage = recommended.iter().filter(|&&b| b).count() as f64 / data.n_items().max(1) as f64;
     out
 }
 
@@ -126,11 +121,8 @@ mod tests {
 
     fn fixed_split() -> SplitDataset {
         let ui = Csr::from_adjacency(2, 12, &[(0..12).collect(), (0..12).collect()]);
-        let it = Csr::from_adjacency(
-            12,
-            4,
-            &(0..12).map(|i| vec![(i % 4) as u32]).collect::<Vec<_>>(),
-        );
+        let it =
+            Csr::from_adjacency(12, 4, &(0..12).map(|i| vec![(i % 4) as u32]).collect::<Vec<_>>());
         let d = Dataset::new("ext", ui, it);
         let mut rng = StdRng::seed_from_u64(3);
         d.split((0.7, 0.1, 0.2), &mut rng)

@@ -57,8 +57,7 @@ pub fn group_recall_contribution(
 pub fn cold_start_users(data: &SplitDataset, threshold: usize) -> Vec<u32> {
     (0..data.n_users() as u32)
         .filter(|&u| {
-            data.train_items(u as usize).len() < threshold
-                && !data.test[u as usize].is_empty()
+            data.train_items(u as usize).len() < threshold && !data.test[u as usize].is_empty()
         })
         .collect()
 }
@@ -134,8 +133,7 @@ mod tests {
             t
         };
         let groups = item_popularity_groups(&data, 5);
-        let contrib =
-            group_recall_contribution(&mut score_fn, &data, 20, &groups, 5);
+        let contrib = group_recall_contribution(&mut score_fn, &data, 20, &groups, 5);
         let overall = crate::metrics::evaluate(&mut score_fn, &data, 20, EvalTarget::Test);
         let sum: f64 = contrib.iter().sum();
         assert!(

@@ -14,12 +14,9 @@ mod stats;
 
 pub use extended::{evaluate_extended, intra_list_diversity, ExtendedMetrics};
 pub use groups::{
-    cold_start_users, evaluate_user_subset, group_recall_contribution,
-    item_popularity_groups,
+    cold_start_users, evaluate_user_subset, group_recall_contribution, item_popularity_groups,
 };
 pub use metrics::{
     evaluate, evaluate_per_user, top_n_masked, EvalTarget, PerUserMetrics, RankingMetrics,
 };
-pub use stats::{
-    incomplete_beta, ln_gamma, mean, paired_t_test, std_dev, two_tailed_p, TTest,
-};
+pub use stats::{incomplete_beta, ln_gamma, mean, paired_t_test, std_dev, two_tailed_p, TTest};

@@ -68,11 +68,9 @@ pub fn top_n_masked(scores: &[f32], mask: &[u32], n: usize) -> Vec<u32> {
         .collect();
     // Partial selection then exact ordering of the head.
     let n = n.min(ranked.len());
-    ranked.select_nth_unstable_by(n.saturating_sub(1), |a, b| {
-        b.1.partial_cmp(&a.1).unwrap()
-    });
+    ranked.select_nth_unstable_by(n.saturating_sub(1), |a, b| b.1.total_cmp(&a.1));
     ranked.truncate(n);
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked.into_iter().map(|(j, _)| j).collect()
 }
 
@@ -104,11 +102,8 @@ pub fn evaluate_per_user(
                 .map(|(rank, _)| rank)
                 .collect();
             let recall = hits.len() as f64 / truth.len() as f64;
-            let dcg: f64 =
-                hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
-            let ideal: f64 = (0..truth.len().min(n))
-                .map(|r| 1.0 / ((r + 2) as f64).log2())
-                .sum();
+            let dcg: f64 = hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
+            let ideal: f64 = (0..truth.len().min(n)).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
             let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
             out.users.push(u);
             out.recall.push(recall);
@@ -212,20 +207,22 @@ mod tests {
         let data = fixed_split();
         let test_items = data.test[0].clone();
         let t0 = test_items[0] as usize;
-        // Hit at rank 1 vs hit at a later rank.
+        // Hit at rank 0 vs hit at the last rank. All other items get strictly
+        // decreasing scores so no tie-break ambiguity can reorder the hits.
         let mut early = |users: &[u32]| {
             let mut t = Tensor::zeros(users.len(), 10);
+            for j in 0..10 {
+                t.set(0, j, -(j as f32));
+            }
             t.set(0, t0, 5.0);
             t
         };
         let mut late = |users: &[u32]| {
             let mut t = Tensor::zeros(users.len(), 10);
-            t.set(0, t0, 0.001); // barely above the zeros, ties broken by order
             for j in 0..10 {
-                if j != t0 && !data.train_items(0).contains(&(j as u32)) {
-                    t.set(0, j, 0.01);
-                }
+                t.set(0, j, -(j as f32));
             }
+            t.set(0, t0, -100.0);
             t
         };
         let m_early = evaluate(&mut early, &data, 8, EvalTarget::Test);

@@ -14,7 +14,7 @@ fn random_split(seed: u64, users: usize, items: usize) -> SplitDataset {
             let mut v: Vec<u32> = (0..items as u32)
                 .filter(|i| !(u as u32 * 31 + i * 17 + seed as u32).is_multiple_of(3))
                 .collect();
-            v.truncate(10.max(2));
+            v.truncate(10);
             v
         })
         .collect();

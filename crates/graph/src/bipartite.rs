@@ -117,14 +117,13 @@ pub fn gini_coefficient(degrees: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total == 0.0 {
         return 0.0;
     }
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
     (2.0 * weighted) / (n * total) - (n + 1.0) / n
 }
 
@@ -202,19 +201,12 @@ mod tests {
         // Edge u0 - item1 (node 3+1=4): value 1/sqrt(2*2) = 0.5.
         assert!(adj.contains(0, 4));
         assert!(adj.contains(4, 0));
-        let v = adj
-            .iter()
-            .find(|&(r, c, _)| r == 0 && c == 4)
-            .map(|(_, _, v)| v)
-            .unwrap();
+        let v = adj.iter().find(|&(r, c, _)| r == 0 && c == 4).map(|(_, _, v)| v).unwrap();
         assert!((v - 0.5).abs() < 1e-6);
         // Symmetry of every entry.
         for (r, c, v) in adj.iter() {
-            let back = adj
-                .iter()
-                .find(|&(r2, c2, _)| r2 == c && c2 == r)
-                .map(|(_, _, v2)| v2)
-                .unwrap();
+            let back =
+                adj.iter().find(|&(r2, c2, _)| r2 == c && c2 == r).map(|(_, _, v2)| v2).unwrap();
             assert!((v - back).abs() < 1e-6);
         }
     }

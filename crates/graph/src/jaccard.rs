@@ -56,12 +56,8 @@ impl ClusterTagSets {
 
     /// Builds the tag → items inverted index once for repeated queries.
     pub fn inverted_index(&self) -> Vec<Vec<u32>> {
-        let max_tag = self
-            .sets
-            .iter()
-            .flat_map(|s| s.iter().copied())
-            .max()
-            .map_or(0, |m| m as usize + 1);
+        let max_tag =
+            self.sets.iter().flat_map(|s| s.iter().copied()).max().map_or(0, |m| m as usize + 1);
         let mut inv = vec![Vec::new(); max_tag];
         for (j, s) in self.sets.iter().enumerate() {
             for &t in s {
@@ -85,18 +81,13 @@ impl ClusterTagSets {
             .collect();
         candidates.sort_unstable();
         candidates.dedup();
-        candidates
-            .into_iter()
-            .filter(|&c| self.jaccard(j, c as usize) > delta)
-            .collect()
+        candidates.into_iter().filter(|&c| self.jaccard(j, c as usize) > delta).collect()
     }
 
     /// Similar sets for every item at threshold `delta` (the full `{S_j^k}`).
     pub fn all_similar_sets(&self, delta: f32) -> Vec<Vec<u32>> {
         let inverted = self.inverted_index();
-        (0..self.n_items())
-            .map(|j| self.similar_items_with_index(j, delta, &inverted))
-            .collect()
+        (0..self.n_items()).map(|j| self.similar_items_with_index(j, delta, &inverted)).collect()
     }
 }
 
@@ -137,11 +128,8 @@ mod tests {
 
     fn toy_sets() -> ClusterTagSets {
         // 4 items, 5 tags; cluster 0 holds tags {0, 1, 2}, cluster 1 {3, 4}.
-        let item_tags = Csr::from_adjacency(
-            4,
-            5,
-            &[vec![0, 1, 3], vec![0, 1, 2], vec![2, 4], vec![3, 4]],
-        );
+        let item_tags =
+            Csr::from_adjacency(4, 5, &[vec![0, 1, 3], vec![0, 1, 2], vec![2, 4], vec![3, 4]]);
         let assignment = vec![0, 0, 0, 1, 1];
         ClusterTagSets::from_assignment(&item_tags, &assignment, 0)
     }

@@ -12,7 +12,6 @@ mod bipartite;
 mod jaccard;
 
 pub use bipartite::{
-    degree_groups, degree_histogram, gini_coefficient, joint_normalized_adjacency,
-    Bipartite,
+    degree_groups, degree_histogram, gini_coefficient, joint_normalized_adjacency, Bipartite,
 };
 pub use jaccard::{jaccard_sorted, ClusterTagSets};

@@ -6,11 +6,8 @@ use proptest::prelude::*;
 
 /// Strategy: a random bipartite adjacency with `rows` users and `cols` items.
 fn adjacency(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0..cols as u32, 0..cols.min(8)),
-        rows,
-    )
-    .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    proptest::collection::vec(proptest::collection::btree_set(0..cols as u32, 0..cols.min(8)), rows)
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
 }
 
 proptest! {

@@ -24,8 +24,7 @@ impl Dspr {
     /// Builds the model on a training split.
     pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
         let mut store = ParamStore::new();
-        let tower =
-            Mlp::new(&mut store, "dspr.tower", &[data.n_tags(), cfg.dim, cfg.dim], rng);
+        let tower = Mlp::new(&mut store, "dspr.tower", &[data.n_tags(), cfg.dim, cfg.dim], rng);
         let adam = Adam::new(cfg.adam(), &store);
         Self {
             store,

@@ -48,8 +48,7 @@ impl Kgat {
     pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
         let layout = UnifiedLayout::of(data);
         let mut store = ParamStore::new();
-        let node_emb =
-            store.add("node_emb", xavier_uniform(layout.total(), cfg.dim, rng));
+        let node_emb = store.add("node_emb", xavier_uniform(layout.total(), cfg.dim, rng));
         let rel_emb = store.add("rel_emb", xavier_uniform(4, cfg.dim, rng));
         let adam = Adam::new(cfg.adam(), &store);
         let mut edges = Vec::new();

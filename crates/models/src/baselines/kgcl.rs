@@ -13,9 +13,7 @@ use std::rc::Rc;
 
 use imcat_data::{BprSampler, SplitDataset};
 use imcat_graph::{joint_normalized_adjacency, Bipartite};
-use imcat_tensor::{
-    xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var,
-};
+use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
 use crate::common::{
@@ -57,8 +55,7 @@ impl Kgcl {
         let n_users = data.n_users();
         let n_items = data.n_items();
         let mut store = ParamStore::new();
-        let node_emb =
-            store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
+        let node_emb = store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
         let tag_emb = store.add("tag_emb", xavier_uniform(data.n_tags(), cfg.dim, rng));
         let adam = Adam::new(cfg.adam(), &store);
         let adj = Rc::new(joint_normalized_adjacency(&data.train));
@@ -90,12 +87,8 @@ impl Kgcl {
 
     /// Rebuilds the dropout views (once per epoch).
     pub fn refresh_views(&mut self, rng: &mut StdRng) {
-        let v1 = Bipartite::new(
-            self.train_graph.forward().drop_edges(self.drop_rate, rng),
-        );
-        let v2 = Bipartite::new(
-            self.train_graph.forward().drop_edges(self.drop_rate, rng),
-        );
+        let v1 = Bipartite::new(self.train_graph.forward().drop_edges(self.drop_rate, rng));
+        let v2 = Bipartite::new(self.train_graph.forward().drop_edges(self.drop_rate, rng));
         self.view1 = Rc::new(joint_normalized_adjacency(&v1));
         self.view2 = Rc::new(joint_normalized_adjacency(&v2));
     }
@@ -109,8 +102,7 @@ impl Kgcl {
     }
 
     fn item_rows(&self, tape: &mut Tape, nodes: Var) -> Var {
-        let ids: Vec<u32> =
-            (self.n_users as u32..(self.n_users + self.n_items) as u32).collect();
+        let ids: Vec<u32> = (self.n_users as u32..(self.n_users + self.n_items) as u32).collect();
         tape.gather_rows(nodes, &ids)
     }
 
@@ -119,10 +111,8 @@ impl Kgcl {
         let mut tape = Tape::new();
         let x0 = tape.leaf(&self.store, self.node_emb);
         let nodes = propagate_mean(&mut tape, &self.adj, x0, self.cfg.gnn_layers);
-        let pos: Vec<u32> =
-            batch.positives.iter().map(|&v| v + self.n_users as u32).collect();
-        let neg: Vec<u32> =
-            batch.negatives.iter().map(|&v| v + self.n_users as u32).collect();
+        let pos: Vec<u32> = batch.positives.iter().map(|&v| v + self.n_users as u32).collect();
+        let neg: Vec<u32> = batch.negatives.iter().map(|&v| v + self.n_users as u32).collect();
         let u = tape.gather_rows(nodes, &batch.anchors);
         let vp = tape.gather_rows(nodes, &pos);
         let vn = tape.gather_rows(nodes, &neg);
@@ -215,12 +205,7 @@ mod tests {
         let kgv = tape.value(kg);
         let mut differs = 0;
         for j in 0..data.n_items() {
-            let diff: f32 = raw
-                .row(j)
-                .iter()
-                .zip(kgv.row(j))
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f32 = raw.row(j).iter().zip(kgv.row(j)).map(|(a, b)| (a - b).abs()).sum();
             if diff > 1e-6 {
                 differs += 1;
             }

@@ -47,11 +47,9 @@ impl Kgin {
     /// Builds the model on a training split.
     pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
         let mut core = EmbeddingCore::new(data.n_users(), data.n_items(), &cfg, rng);
-        let tag_emb =
-            core.store.add("tag_emb", xavier_uniform(data.n_tags(), cfg.dim, rng));
-        let intent_logits = core
-            .store
-            .add("intent_logits", xavier_uniform(INTENTS, data.n_tags(), rng));
+        let tag_emb = core.store.add("tag_emb", xavier_uniform(data.n_tags(), cfg.dim, rng));
+        let intent_logits =
+            core.store.add("intent_logits", xavier_uniform(INTENTS, data.n_tags(), rng));
         core.rebuild_optimizer(&cfg);
         let it = data.item_tag.row_mean_aggregator();
         let it_t = it.transpose();
@@ -202,9 +200,7 @@ impl Kgin {
         let mixed = beta.matmul(&e_p);
         let mut u = Tensor::zeros(n_users, d);
         for r in 0..u.rows() {
-            for ((o, &p), &m) in
-                u.row_mut(r).iter_mut().zip(u_prop.row(r)).zip(mixed.row(r))
-            {
+            for ((o, &p), &m) in u.row_mut(r).iter_mut().zip(u_prop.row(r)).zip(mixed.row(r)) {
                 *o = p + 0.5 * m * p;
             }
         }

@@ -38,8 +38,7 @@ impl RippleNet {
     /// Builds the model on a training split.
     pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
         let mut core = EmbeddingCore::new(data.n_users(), data.n_items(), &cfg, rng);
-        let tag_emb =
-            core.store.add("tag_emb", xavier_uniform(data.n_tags(), cfg.dim, rng));
+        let tag_emb = core.store.add("tag_emb", xavier_uniform(data.n_tags(), cfg.dim, rng));
         core.rebuild_optimizer(&cfg);
         let ut = data.train.forward().matmul_csr(data.item_tag.forward());
         let user_tags: Vec<Vec<u32>> =
@@ -62,11 +61,7 @@ impl RippleNet {
         for &u in users {
             let tags = &self.user_tags[u as usize];
             for _ in 0..RIPPLE {
-                flat.push(if tags.is_empty() {
-                    0
-                } else {
-                    tags[rng.gen_range(0..tags.len())]
-                });
+                flat.push(if tags.is_empty() { 0 } else { tags[rng.gen_range(0..tags.len())] });
             }
         }
         flat
@@ -75,7 +70,7 @@ impl RippleNet {
     /// Attention read-out `o_u(v)` on the tape: `[B, d]`.
     fn readout(&self, tape: &mut Tape, ripple_tags: &[u32], v: Var, b: usize) -> Var {
         let t_emb = tape.gather(&self.core.store, self.tag_emb, ripple_tags); // [B*R, d]
-        // Repeat each candidate item embedding RIPPLE times.
+                                                                              // Repeat each candidate item embedding RIPPLE times.
         let rep_ids: Vec<u32> =
             (0..b as u32).flat_map(|i| std::iter::repeat_n(i, RIPPLE)).collect();
         let v_rep = tape.gather_rows(v, &rep_ids); // [B*R, d]
@@ -84,7 +79,7 @@ impl RippleNet {
         let att = tape.softmax_rows(logits);
         let att_flat = tape.reshape(att, b * RIPPLE, 1);
         let weighted = tape.mul_col_vec(t_emb, att_flat); // [B*R, d]
-        // Block-sum back to [B, d].
+                                                          // Block-sum back to [B, d].
         let block = block_sum_csr(b, RIPPLE);
         let block_t = Rc::new(block.transpose());
         tape.spmm(&Rc::new(block), &block_t, weighted)
@@ -141,17 +136,13 @@ impl RecModel for RippleNet {
         let d = self.core.dim;
         let mut out = Tensor::zeros(users.len(), self.n_items);
         for (row, &u) in users.iter().enumerate() {
-            let tags: Vec<u32> = self.user_tags[u as usize]
-                .iter()
-                .copied()
-                .take(EVAL_RIPPLE)
-                .collect();
+            let tags: Vec<u32> =
+                self.user_tags[u as usize].iter().copied().take(EVAL_RIPPLE).collect();
             let urow = ue.row(u as usize);
             if tags.is_empty() {
                 // Pure dot-product fallback.
                 for j in 0..self.n_items {
-                    let s: f32 =
-                        urow.iter().zip(ve.row(j)).map(|(a, b)| a * b).sum();
+                    let s: f32 = urow.iter().zip(ve.row(j)).map(|(a, b)| a * b).sum();
                     out.set(row, j, s);
                 }
                 continue;
@@ -232,8 +223,7 @@ mod tests {
         let data = tiny_split(103);
         let mut rng = StdRng::seed_from_u64(0);
         let model = RippleNet::new(&data, TrainConfig::default(), &mut rng);
-        let with_tags =
-            model.user_tags.iter().filter(|t| !t.is_empty()).count();
+        let with_tags = model.user_tags.iter().filter(|t| !t.is_empty()).count();
         assert!(with_tags as f64 > 0.95 * data.n_users() as f64);
     }
 }

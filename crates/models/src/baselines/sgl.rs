@@ -6,9 +6,7 @@ use std::rc::Rc;
 
 use imcat_data::{BprSampler, SplitDataset};
 use imcat_graph::{joint_normalized_adjacency, Bipartite};
-use imcat_tensor::{
-    xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor,
-};
+use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor};
 use rand::rngs::StdRng;
 
 use crate::common::{
@@ -45,8 +43,7 @@ impl Sgl {
         let n_users = data.n_users();
         let n_items = data.n_items();
         let mut store = ParamStore::new();
-        let node_emb =
-            store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
+        let node_emb = store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
         let adam = Adam::new(cfg.adam(), &store);
         let adj = Rc::new(joint_normalized_adjacency(&data.train));
         let mut model = Self {
@@ -71,12 +68,8 @@ impl Sgl {
 
     /// Rebuilds the two augmented graph views (once per epoch).
     pub fn refresh_views(&mut self, rng: &mut StdRng) {
-        let v1 = Bipartite::new(
-            self.train_graph.forward().drop_edges(self.drop_rate, rng),
-        );
-        let v2 = Bipartite::new(
-            self.train_graph.forward().drop_edges(self.drop_rate, rng),
-        );
+        let v1 = Bipartite::new(self.train_graph.forward().drop_edges(self.drop_rate, rng));
+        let v2 = Bipartite::new(self.train_graph.forward().drop_edges(self.drop_rate, rng));
         self.view1 = Rc::new(joint_normalized_adjacency(&v1));
         self.view2 = Rc::new(joint_normalized_adjacency(&v2));
     }
@@ -86,10 +79,8 @@ impl Sgl {
         let mut tape = Tape::new();
         let x0 = tape.leaf(&self.store, self.node_emb);
         let nodes = propagate_mean(&mut tape, &self.adj, x0, self.cfg.gnn_layers);
-        let pos: Vec<u32> =
-            batch.positives.iter().map(|&v| v + self.n_users as u32).collect();
-        let neg: Vec<u32> =
-            batch.negatives.iter().map(|&v| v + self.n_users as u32).collect();
+        let pos: Vec<u32> = batch.positives.iter().map(|&v| v + self.n_users as u32).collect();
+        let neg: Vec<u32> = batch.negatives.iter().map(|&v| v + self.n_users as u32).collect();
         let u = tape.gather_rows(nodes, &batch.anchors);
         let vp = tape.gather_rows(nodes, &pos);
         let vn = tape.gather_rows(nodes, &neg);

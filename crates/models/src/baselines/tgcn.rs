@@ -11,9 +11,7 @@
 use std::rc::Rc;
 
 use imcat_data::{BprSampler, SplitDataset};
-use imcat_tensor::{
-    xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var,
-};
+use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
 use crate::baselines::unified::{it_adjacency, ui_adjacency, UnifiedLayout};
@@ -36,8 +34,7 @@ impl Tgcn {
     pub fn new(data: &SplitDataset, cfg: TrainConfig, rng: &mut StdRng) -> Self {
         let layout = UnifiedLayout::of(data);
         let mut store = ParamStore::new();
-        let node_emb =
-            store.add("node_emb", xavier_uniform(layout.total(), cfg.dim, rng));
+        let node_emb = store.add("node_emb", xavier_uniform(layout.total(), cfg.dim, rng));
         let adam = Adam::new(cfg.adam(), &store);
         Self {
             store,

@@ -41,14 +41,11 @@ impl UnifiedLayout {
 /// only the user–item edges.
 pub fn ui_adjacency(data: &SplitDataset, layout: UnifiedLayout) -> Csr {
     let n = layout.total();
-    let udeg: Vec<f32> =
-        data.train.row_degrees().iter().map(|&d| d as f32).collect();
-    let ideg: Vec<f32> =
-        data.train.col_degrees().iter().map(|&d| d as f32).collect();
+    let udeg: Vec<f32> = data.train.row_degrees().iter().map(|&d| d as f32).collect();
+    let ideg: Vec<f32> = data.train.col_degrees().iter().map(|&d| d as f32).collect();
     let mut triplets = Vec::with_capacity(2 * data.train.n_edges());
     for (u, v, w) in data.train.forward().iter() {
-        let norm =
-            w / (udeg[u as usize].max(1.0).sqrt() * ideg[v as usize].max(1.0).sqrt());
+        let norm = w / (udeg[u as usize].max(1.0).sqrt() * ideg[v as usize].max(1.0).sqrt());
         triplets.push((u, layout.item(v), norm));
         triplets.push((layout.item(v), u, norm));
     }
@@ -59,14 +56,11 @@ pub fn ui_adjacency(data: &SplitDataset, layout: UnifiedLayout) -> Csr {
 /// only the item–tag edges.
 pub fn it_adjacency(data: &SplitDataset, layout: UnifiedLayout) -> Csr {
     let n = layout.total();
-    let ideg: Vec<f32> =
-        data.item_tag.row_degrees().iter().map(|&d| d as f32).collect();
-    let tdeg: Vec<f32> =
-        data.item_tag.col_degrees().iter().map(|&d| d as f32).collect();
+    let ideg: Vec<f32> = data.item_tag.row_degrees().iter().map(|&d| d as f32).collect();
+    let tdeg: Vec<f32> = data.item_tag.col_degrees().iter().map(|&d| d as f32).collect();
     let mut triplets = Vec::with_capacity(2 * data.item_tag.n_edges());
     for (v, t, w) in data.item_tag.forward().iter() {
-        let norm =
-            w / (ideg[v as usize].max(1.0).sqrt() * tdeg[t as usize].max(1.0).sqrt());
+        let norm = w / (ideg[v as usize].max(1.0).sqrt() * tdeg[t as usize].max(1.0).sqrt());
         triplets.push((layout.item(v), layout.tag(t), norm));
         triplets.push((layout.tag(t), layout.item(v), norm));
     }

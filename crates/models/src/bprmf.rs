@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn training_beats_random_ranking() {
-        let data = tiny_split(12);
+        let data = tiny_split(42);
         let mut rng = StdRng::seed_from_u64(0);
         let model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
         training_improves_recall(model, &data, 40);

@@ -6,9 +6,7 @@
 use std::rc::Rc;
 
 use imcat_data::SplitDataset;
-use imcat_tensor::{
-    xavier_uniform, Adam, AdamConfig, Csr, ParamId, ParamStore, Tape, Tensor, Var,
-};
+use imcat_tensor::{xavier_uniform, Adam, AdamConfig, Csr, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -32,25 +30,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self {
-            dim: 32,
-            batch_size: 512,
-            lr: 1e-3,
-            weight_decay: 1e-3,
-            gnn_layers: 2,
-            seed: 0,
-        }
+        Self { dim: 32, batch_size: 512, lr: 1e-3, weight_decay: 1e-3, gnn_layers: 2, seed: 0 }
     }
 }
 
 impl TrainConfig {
     /// Builds the Adam configuration for this run.
     pub fn adam(&self) -> AdamConfig {
-        AdamConfig {
-            lr: self.lr,
-            weight_decay: self.weight_decay,
-            ..AdamConfig::default()
-        }
+        AdamConfig { lr: self.lr, weight_decay: self.weight_decay, ..AdamConfig::default() }
     }
 }
 
@@ -157,13 +144,7 @@ pub fn bpr_loss(tape: &mut Tape, score_pos: Var, score_neg: Var) -> Var {
 /// (`[B, d]` each): positives on the diagonal, all other batch rows as
 /// negatives, with optional per-row weights (the relatedness `M` of Eq. 9).
 /// Matches the `(L_u2it + L_it2u) / 2` structure of Eq. 11.
-pub fn info_nce(
-    tape: &mut Tape,
-    a: Var,
-    b: Var,
-    tau: f32,
-    weights: Option<Var>,
-) -> Var {
+pub fn info_nce(tape: &mut Tape, a: Var, b: Var, tau: f32, weights: Option<Var>) -> Var {
     let an = tape.l2_normalize_rows(a, 1e-12);
     let bn = tape.l2_normalize_rows(b, 1e-12);
     let logits = tape.matmul_nt(an, bn);

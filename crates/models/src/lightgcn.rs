@@ -6,14 +6,12 @@ use std::rc::Rc;
 
 use imcat_data::{BprSampler, SplitDataset};
 use imcat_graph::joint_normalized_adjacency;
-use imcat_tensor::{
-    xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var,
-};
+use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
 use crate::common::{
-    bpr_loss, dot_score_all, propagate_mean, propagate_mean_tensor, Backbone, EpochStats,
-    RecModel, TrainConfig,
+    bpr_loss, dot_score_all, propagate_mean, propagate_mean_tensor, Backbone, EpochStats, RecModel,
+    TrainConfig,
 };
 
 /// LightGCN recommender. One embedding table covers the `n_users + n_items`
@@ -35,8 +33,7 @@ impl LightGcn {
         let n_users = data.n_users();
         let n_items = data.n_items();
         let mut store = ParamStore::new();
-        let node_emb =
-            store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
+        let node_emb = store.add("node_emb", xavier_uniform(n_users + n_items, cfg.dim, rng));
         let adam = Adam::new(cfg.adam(), &store);
         let adj = Rc::new(joint_normalized_adjacency(&data.train));
         let sampler = BprSampler::for_user_items(data);
@@ -68,10 +65,8 @@ impl LightGcn {
         let mut tape = Tape::new();
         let nodes = self.propagate(&mut tape);
         let u = tape.gather_rows(nodes, &batch.anchors);
-        let pos_ids: Vec<u32> =
-            batch.positives.iter().map(|&i| i + self.n_users as u32).collect();
-        let neg_ids: Vec<u32> =
-            batch.negatives.iter().map(|&i| i + self.n_users as u32).collect();
+        let pos_ids: Vec<u32> = batch.positives.iter().map(|&i| i + self.n_users as u32).collect();
+        let neg_ids: Vec<u32> = batch.negatives.iter().map(|&i| i + self.n_users as u32).collect();
         let vp = tape.gather_rows(nodes, &pos_ids);
         let vn = tape.gather_rows(nodes, &neg_ids);
         let sp = tape.rowwise_dot(u, vp);

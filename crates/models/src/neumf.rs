@@ -12,9 +12,7 @@ use imcat_data::{BprSampler, SplitDataset};
 use imcat_tensor::{xavier_uniform, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
-use crate::common::{
-    bpr_loss, Backbone, EmbeddingCore, EpochStats, Mlp, RecModel, TrainConfig,
-};
+use crate::common::{bpr_loss, Backbone, EmbeddingCore, EpochStats, Mlp, RecModel, TrainConfig};
 
 /// Neural collaborative filtering with GMF + MLP fusion, trained with BPR.
 pub struct Neumf {
@@ -93,9 +91,7 @@ impl RecModel for Neumf {
                 let vrow = ve.row(j);
                 cat.row_mut(j)[..d].copy_from_slice(urow);
                 cat.row_mut(j)[d..].copy_from_slice(vrow);
-                for (p, (&a, &b)) in
-                    prod.row_mut(j).iter_mut().zip(urow.iter().zip(vrow))
-                {
+                for (p, (&a, &b)) in prod.row_mut(j).iter_mut().zip(urow.iter().zip(vrow)) {
                     *p = a * b;
                 }
             }

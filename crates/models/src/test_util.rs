@@ -37,7 +37,7 @@ pub fn quick_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) -> f64 
             .enumerate()
             .filter(|&(j, _)| !data.train_items(u as usize).contains(&(j as u32)))
             .collect();
-        s.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        s.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<usize> = s.iter().take(n).map(|&(j, _)| j).collect();
         let test = &data.test[u as usize];
         let hits = test.iter().filter(|&&t| top.contains(&(t as usize))).count();
@@ -48,11 +48,7 @@ pub fn quick_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) -> f64 
 
 /// Asserts that `epochs` of training raise Recall@20 above the untrained
 /// starting point (and above near-random levels).
-pub fn training_improves_recall(
-    mut model: impl RecModel,
-    data: &SplitDataset,
-    epochs: usize,
-) {
+pub fn training_improves_recall(mut model: impl RecModel, data: &SplitDataset, epochs: usize) {
     let before = quick_recall(&model, data, 20);
     let mut rng = StdRng::seed_from_u64(99);
     for _ in 0..epochs {

@@ -3,8 +3,8 @@
 
 use imcat_data::{generate, SplitDataset, SynthConfig};
 use imcat_models::{
-    Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet, Sgl,
-    Tgcn, TrainConfig,
+    Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet, Sgl, Tgcn,
+    TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,11 +56,7 @@ fn all_models_train_three_epochs_with_finite_losses() {
         let mut last = f32::INFINITY;
         for e in 0..3 {
             let stats = m.train_epoch(&mut rng);
-            assert!(
-                stats.loss.is_finite(),
-                "{} produced non-finite loss at epoch {e}",
-                m.name()
-            );
+            assert!(stats.loss.is_finite(), "{} produced non-finite loss at epoch {e}", m.name());
             assert!(stats.batches > 0);
             last = stats.loss;
         }

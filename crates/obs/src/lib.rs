@@ -1,0 +1,573 @@
+//! # imcat-obs — telemetry for the IMCAT training stack
+//!
+//! A zero-dependency observability layer: counters, gauges, fixed-bucket
+//! timing histograms, scoped span timers, structured events, a JSONL sink,
+//! and an end-of-run summary table.
+//!
+//! ## Design
+//!
+//! * **Thread-local registry.** The training stack is single-threaded per
+//!   run (the autodiff tape is `Rc`-based); a thread-local registry makes
+//!   recording a plain pointer bump with no atomics, and keeps parallel test
+//!   threads from contaminating each other's measurements.
+//! * **Off by default.** Every recording call first checks one thread-local
+//!   flag; when disabled the instrumented fast paths stay branch-predictable
+//!   and allocation-free. Enable explicitly with [`set_enabled`] or from the
+//!   environment with [`init_from_env`] (`IMCAT_OBS=1` or `IMCAT_OBS_OUT`
+//!   set).
+//! * **Static keys.** Metric names are `&'static str` so the hot path never
+//!   allocates; dynamic payloads belong in [`emit`]ted events.
+//!
+//! ## Event schema (JSONL)
+//!
+//! [`write_jsonl`] writes one JSON object per line:
+//!
+//! * events: `{"t": seconds_since_process_start, "kind": "...", ...fields}`
+//! * counters: `{"kind": "counter", "name": "...", "value": n}`
+//! * gauges: `{"kind": "gauge", "name": "...", "value": x}`
+//! * histograms: `{"kind": "hist", "name": "...", "count": n, "sum": s,
+//!   "mean": m, "min": lo, "max": hi, "p50": q, "p99": q}`
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+mod json;
+
+pub use json::{Json, ToJson};
+
+/// Histogram bucket upper bounds in seconds: `1µs · 2^i`. Values above the
+/// last bound land in an overflow bucket.
+pub const BUCKET_BOUNDS: [f64; 26] = {
+    let mut b = [0.0; 26];
+    let mut i = 0;
+    while i < 26 {
+        b[i] = 1.0e-6 * (1u64 << i) as f64;
+        i += 1;
+    }
+    b
+};
+
+/// Fixed-bucket histogram of seconds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// Bucket counts; `buckets[i]` counts values `<= BUCKET_BOUNDS[i]`, the
+    /// final slot is overflow.
+    pub buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        let idx = BUCKET_BOUNDS.iter().position(|&b| v <= b).unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// containing the `q`-quantile observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < BUCKET_BOUNDS.len() { BUCKET_BOUNDS[i] } else { self.max };
+            }
+        }
+        self.max
+    }
+}
+
+/// One structured event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Seconds since process start.
+    pub t: f64,
+    /// Event kind, e.g. `"epoch"` or `"loss_terms"`.
+    pub kind: String,
+    /// Event payload.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("t".to_string(), Json::Num(self.t)),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+        ];
+        fields.extend(self.fields.iter().cloned());
+        Json::Obj(fields)
+    }
+
+    /// Parses an event from the JSON object written by [`Event::to_json`].
+    pub fn from_json(v: &Json) -> Option<Event> {
+        let t = v.get("t")?.as_f64()?;
+        let kind = v.get("kind")?.as_str()?.to_string();
+        let fields = match v {
+            Json::Obj(fields) => {
+                fields.iter().filter(|(k, _)| k != "t" && k != "kind").cloned().collect()
+            }
+            _ => return None,
+        };
+        Some(Event { t, kind, fields })
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    enabled: bool,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    events: Vec<Event>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+fn epoch_instant() -> Instant {
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Seconds since the first telemetry call of the process.
+pub fn now_seconds() -> f64 {
+    epoch_instant().elapsed().as_secs_f64()
+}
+
+/// Turns recording on or off for the current thread.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Anchor the event clock before the first measurement.
+        let _ = epoch_instant();
+    }
+    REGISTRY.with(|r| r.borrow_mut().enabled = on);
+}
+
+/// Whether recording is on for the current thread.
+#[inline]
+pub fn enabled() -> bool {
+    REGISTRY.with(|r| r.borrow().enabled)
+}
+
+/// Enables recording when `IMCAT_OBS` is truthy or `IMCAT_OBS_OUT` is set;
+/// returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    let on =
+        matches!(std::env::var("IMCAT_OBS").ok().as_deref(), Some("1") | Some("true") | Some("on"))
+            || out_path().is_some();
+    if on {
+        set_enabled(true);
+    }
+    on
+}
+
+/// The JSONL sink path from `IMCAT_OBS_OUT`, if set.
+pub fn out_path() -> Option<PathBuf> {
+    std::env::var_os("IMCAT_OBS_OUT").map(PathBuf::from)
+}
+
+/// Clears all recorded metrics and events on this thread (the enabled flag
+/// is preserved).
+pub fn reset() {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.counters.clear();
+        reg.gauges.clear();
+        reg.hists.clear();
+        reg.events.clear();
+    });
+}
+
+/// Adds `v` to a named counter.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        if reg.enabled {
+            *reg.counters.entry(name).or_insert(0) += v;
+        }
+    });
+}
+
+/// Sets a named gauge.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        if reg.enabled {
+            reg.gauges.insert(name, v);
+        }
+    });
+}
+
+/// Records a duration (seconds) into a named histogram.
+#[inline]
+pub fn observe(name: &'static str, seconds: f64) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        if reg.enabled {
+            reg.hists.entry(name).or_default().record(seconds);
+        }
+    });
+}
+
+/// Appends a structured event.
+pub fn emit(kind: &str, fields: Vec<(&str, Json)>) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        if reg.enabled {
+            let t = now_seconds();
+            reg.events.push(Event {
+                t,
+                kind: kind.to_string(),
+                fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            });
+        }
+    });
+}
+
+/// Scoped timer: on drop, records elapsed seconds into the histogram named
+/// at construction. Inert (and allocation-free) when recording is disabled.
+pub struct Span {
+    start: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// Whether this span is live (recording was enabled at creation).
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, t0)) = self.start.take() {
+            observe(name, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Opens a [`Span`] recording into histogram `name`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span { start: if enabled() { Some((name, Instant::now())) } else { None } }
+}
+
+/// Immutable copy of the registry state, used for deltas and reporting.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms by name.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Total seconds recorded into a histogram (0 when absent).
+    pub fn hist_sum(&self, name: &str) -> f64 {
+        self.hist(name).map_or(0.0, |h| h.sum)
+    }
+
+    /// Number of recordings in a histogram (0 when absent).
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.hist(name).map_or(0, |h| h.count)
+    }
+
+    /// Sum of `hist_sum` over every histogram whose name starts with
+    /// `prefix` (e.g. `"phase."`).
+    pub fn prefixed_time(&self, prefix: &str) -> f64 {
+        self.hists.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, h)| h.sum).sum()
+    }
+}
+
+/// Snapshots the current thread's metrics.
+pub fn snapshot() -> Snapshot {
+    REGISTRY.with(|r| {
+        let reg = r.borrow();
+        Snapshot {
+            counters: reg.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            gauges: reg.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            hists: reg.hists.iter().map(|(&k, h)| (k.to_string(), h.clone())).collect(),
+        }
+    })
+}
+
+/// Clones the buffered events.
+pub fn events() -> Vec<Event> {
+    REGISTRY.with(|r| r.borrow().events.clone())
+}
+
+fn sink_lines(snap: &Snapshot, events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().render());
+        out.push('\n');
+    }
+    for (name, v) in &snap.counters {
+        let line = Json::obj(vec![
+            ("kind", Json::Str("counter".into())),
+            ("name", Json::Str(name.clone())),
+            ("value", Json::Num(*v as f64)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, v) in &snap.gauges {
+        let line = Json::obj(vec![
+            ("kind", Json::Str("gauge".into())),
+            ("name", Json::Str(name.clone())),
+            ("value", Json::Num(*v)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, h) in &snap.hists {
+        let line = Json::obj(vec![
+            ("kind", Json::Str("hist".into())),
+            ("name", Json::Str(name.clone())),
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum)),
+            ("mean", Json::Num(h.mean())),
+            ("min", Json::Num(if h.count == 0 { 0.0 } else { h.min })),
+            ("max", Json::Num(if h.count == 0 { 0.0 } else { h.max })),
+            ("p50", Json::Num(h.quantile(0.5))),
+            ("p99", Json::Num(h.quantile(0.99))),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes buffered events plus final counter/gauge/histogram summaries as
+/// JSONL to `path`, creating parent directories as needed.
+pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, sink_lines(&snapshot(), &events()))
+}
+
+/// Human-readable summary of every recorded metric.
+pub fn summary() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    if !snap.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "timer", "count", "total(s)", "mean(s)", "p50(s)", "p99(s)"
+        );
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>12.6} {:>12.9} {:>12.9} {:>12.9}",
+                name,
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "{:<28} {:>16}", "counter", "value");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name:<28} {v:>16}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "{:<28} {:>16}", "gauge", "value");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name:<28} {v:>16.6}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+/// End-of-run hook: when `IMCAT_OBS_OUT` is set, writes the JSONL sink there
+/// and returns the path written.
+pub fn finalize() -> Option<PathBuf> {
+    let path = out_path()?;
+    match write_jsonl(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("imcat-obs: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_clean<T>(f: impl FnOnce() -> T) -> T {
+        set_enabled(true);
+        reset();
+        let out = f();
+        reset();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        set_enabled(false);
+        reset();
+        counter_add("x", 3);
+        observe("h", 0.5);
+        emit("e", vec![]);
+        {
+            let s = span("sp");
+            assert!(!s.active());
+        }
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::default();
+        // Exactly on the first bound (1µs) -> bucket 0; just above -> bucket 1.
+        h.record(1.0e-6);
+        h.record(1.000001e-6 * 1.5);
+        // Far beyond the last bound -> overflow bucket.
+        h.record(1.0e9);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(h.count, 3);
+        assert!((h.max - 1.0e9).abs() < 1.0);
+        // Quantiles resolve to bucket upper bounds (max for overflow).
+        assert_eq!(h.quantile(0.01), BUCKET_BOUNDS[0]);
+        assert_eq!(h.quantile(1.0), h.max);
+        // Bounds double each bucket.
+        for i in 1..BUCKET_BOUNDS.len() {
+            assert!((BUCKET_BOUNDS[i] / BUCKET_BOUNDS[i - 1] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counters_aggregate_across_spans() {
+        with_clean(|| {
+            for _ in 0..4 {
+                let _s = span("op.test.time");
+                counter_add("op.test.flops", 10);
+            }
+            let snap = snapshot();
+            assert_eq!(snap.counter("op.test.flops"), 40);
+            assert_eq!(snap.hist_count("op.test.time"), 4);
+            assert!(snap.hist_sum("op.test.time") >= 0.0);
+            assert_eq!(snap.prefixed_time("op."), snap.hist_sum("op.test.time"));
+        });
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_events() {
+        with_clean(|| {
+            emit("epoch", vec![("epoch", Json::Num(1.0)), ("loss", Json::Num(0.25))]);
+            emit("eval", vec![("recall", Json::Num(0.125))]);
+            counter_add("op.matmul.count", 2);
+            observe("phase.forward", 0.5);
+
+            let original = events();
+            let text = sink_lines(&snapshot(), &original);
+            let mut parsed_events = Vec::new();
+            let mut saw_counter = false;
+            let mut saw_hist = false;
+            for line in text.lines() {
+                let v = Json::parse(line).expect("each line parses");
+                match v.get("kind").and_then(Json::as_str) {
+                    Some("counter") => {
+                        saw_counter = true;
+                        assert_eq!(v.get("name").unwrap().as_str(), Some("op.matmul.count"));
+                        assert_eq!(v.get("value").unwrap().as_f64(), Some(2.0));
+                    }
+                    Some("hist") => {
+                        saw_hist = true;
+                        assert_eq!(v.get("sum").unwrap().as_f64(), Some(0.5));
+                    }
+                    _ => parsed_events.push(Event::from_json(&v).expect("event parses")),
+                }
+            }
+            assert!(saw_counter && saw_hist);
+            assert_eq!(parsed_events.len(), original.len());
+            for (a, b) in original.iter().zip(&parsed_events) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.fields, b.fields);
+                assert!((a.t - b.t).abs() < 1e-9);
+            }
+        });
+    }
+
+    #[test]
+    fn summary_lists_recorded_names() {
+        with_clean(|| {
+            counter_add("c1", 7);
+            gauge_set("g1", 1.5);
+            observe("t1", 0.001);
+            let s = summary();
+            for needle in ["c1", "g1", "t1"] {
+                assert!(s.contains(needle), "summary missing {needle}:\n{s}");
+            }
+        });
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline drop-in replacement for the subset of `proptest 1.x` this
+//! workspace uses. The build container has no crates.io access, so the
+//! workspace resolves `proptest` to this path crate.
+//!
+//! Semantics: each `proptest!` test runs its body for
+//! [`ProptestConfig::cases`] deterministic pseudo-random cases. There is no
+//! shrinking and no persistence of failing cases — a failing case panics with
+//! the case index so it can be replayed by rerunning the test.
+//!
+//! Implemented surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`, `prop_assert_eq!`,
+//! [`Strategy`] with `prop_map`, integer range strategies, tuple strategies,
+//! and [`collection::vec`] / [`collection::btree_set`].
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving the strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x5851_F42D_4C95_7F2D }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases executed per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe producing random values of an associated type.
+pub trait Strategy {
+    /// Value type the strategy yields.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, gen: &mut Gen) -> O {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + gen.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo + gen.below(span.max(1)) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = gen.unit_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let unit = gen.unit_f64() as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (self.0.generate(gen), self.1.generate(gen))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (self.0.generate(gen), self.1.generate(gen), self.2.generate(gen))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::collections::BTreeSet;
+
+    use super::{Gen, Strategy};
+
+    /// Length specifications: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, gen: &mut Gen) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _gen: &mut Gen) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, gen: &mut Gen) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + gen.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a drawn length.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Self::Value {
+            let n = self.len.pick(gen);
+            (0..n).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+
+    /// Vector of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a drawn target size.
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for BTreeSetStrategy<S, L>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Self::Value {
+            let n = self.len.pick(gen);
+            let mut out = BTreeSet::new();
+            // Duplicates collapse; bound the retries so narrow element
+            // domains cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 20 * (n + 1) {
+                out.insert(self.element.generate(gen));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Set with `len` distinct elements drawn from `element` (best effort
+    /// when the element domain is small).
+    pub fn btree_set<S: Strategy, L: SizeRange>(element: S, len: L) -> BTreeSetStrategy<S, L> {
+        BTreeSetStrategy { element, len }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Gen, ProptestConfig, Strategy};
+}
+
+/// Runs each contained `#[test] fn name(args in strategies) { body }` for a
+/// number of deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut gen = $crate::Gen::new(
+                0x243F_6A88_85A3_08D3 ^ ((line!() as u64) << 32) ^ (column!() as u64),
+            );
+            for case in 0..cfg.cases {
+                let _ = case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut gen);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_collections(n in 1usize..8, xs in crate::collection::vec(0u32..100, 3..9)) {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(xs.len() >= 3 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn sets_hit_min_size(s in crate::collection::btree_set(0u32..1000, 2..5)) {
+            prop_assert!(s.len() >= 2 && s.len() < 5);
+        }
+
+        #[test]
+        fn map_and_tuples(v in (0u32..10, 1u32..3).prop_map(|(a, b)| a * b)) {
+            prop_assert!(v < 30);
+        }
+    }
+}

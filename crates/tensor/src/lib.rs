@@ -45,3 +45,29 @@ pub use sparse::Csr;
 pub use store::{Param, ParamId, ParamStore};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;
+
+/// Telemetry helper for the dense matmul kernels: times the kernel under
+/// `op.matmul` and counts multiply-add FLOPs. Inert unless
+/// [`imcat_obs::enabled`].
+#[inline]
+pub(crate) fn obs_matmul(m: usize, k: usize, n: usize) -> imcat_obs::Span {
+    let sp = imcat_obs::span("op.matmul");
+    if sp.active() {
+        imcat_obs::counter_add("op.matmul.count", 1);
+        imcat_obs::counter_add("op.matmul.flops", 2 * (m * k * n) as u64);
+    }
+    sp
+}
+
+/// Telemetry helper for SpMM: times under `op.spmm`, counts invocations,
+/// processed non-zeros, and multiply-add FLOPs.
+#[inline]
+pub(crate) fn obs_spmm(nnz: usize, dense_cols: usize) -> imcat_obs::Span {
+    let sp = imcat_obs::span("op.spmm");
+    if sp.active() {
+        imcat_obs::counter_add("op.spmm.count", 1);
+        imcat_obs::counter_add("op.spmm.nnz", nnz as u64);
+        imcat_obs::counter_add("op.spmm.flops", 2 * (nnz * dense_cols) as u64);
+    }
+    sp
+}

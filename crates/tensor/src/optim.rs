@@ -71,6 +71,12 @@ impl Adam {
     /// Applies one Adam step to every touched row of every parameter, then
     /// clears gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let sp = imcat_obs::span("phase.optimizer");
+        let telemetry = sp.active();
+        // Gradient health is tracked here rather than per-model because every
+        // model funnels its updates through this one optimizer.
+        let mut grad_sq_sum = 0.0f64;
+        let mut nonfinite = 0u64;
         self.t += 1;
         let t = self.t as f32;
         let cfg = self.cfg;
@@ -81,6 +87,15 @@ impl Adam {
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
             store.drain_touched(pid, |row, value, grad| {
+                if telemetry {
+                    for &g in grad.iter() {
+                        if g.is_finite() {
+                            grad_sq_sum += (g as f64) * (g as f64);
+                        } else {
+                            nonfinite += 1;
+                        }
+                    }
+                }
                 let mr = m.row_mut(row as usize);
                 let vr = v.row_mut(row as usize);
                 for ((w, &g), (mi, vi)) in
@@ -93,6 +108,20 @@ impl Adam {
                     *w -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * *w);
                 }
             });
+        }
+        if telemetry {
+            imcat_obs::counter_add("op.optimizer.count", 1);
+            imcat_obs::gauge_set("grad.norm", grad_sq_sum.sqrt());
+            if nonfinite > 0 {
+                imcat_obs::counter_add("guard.nonfinite_grad", nonfinite);
+                imcat_obs::emit(
+                    "nonfinite_grad",
+                    vec![
+                        ("step", imcat_obs::Json::Num(self.t as f64)),
+                        ("elements", imcat_obs::Json::Num(nonfinite as f64)),
+                    ],
+                );
+            }
         }
     }
 }
@@ -126,8 +155,7 @@ mod tests {
     #[test]
     fn untouched_rows_are_not_updated() {
         let mut store = ParamStore::new();
-        let table =
-            store.add("emb", Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]));
+        let table = store.add("emb", Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]));
         let mut adam = Adam::new(AdamConfig::default(), &store);
         let mut tape = Tape::new();
         let rows = tape.gather(&store, table, &[1]);

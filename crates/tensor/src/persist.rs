@@ -65,9 +65,9 @@ pub fn load_params(mut r: impl Read) -> io::Result<ParamStore> {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 name"))?;
         let rows = read_u32(&mut r)? as usize;
         let cols = read_u32(&mut r)? as usize;
-        let elems = rows.checked_mul(cols).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "shape overflow")
-        })?;
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shape overflow"))?;
         let mut data = Vec::with_capacity(elems);
         let mut buf = [0u8; 4];
         for _ in 0..elems {

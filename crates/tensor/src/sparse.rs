@@ -140,10 +140,7 @@ impl Csr {
     /// Iterates `(row, col, value)` over all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_indices(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r as u32, c, v))
+            self.row_indices(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r as u32, c, v))
         })
     }
 
@@ -227,6 +224,7 @@ impl Csr {
             x.shape()
         );
         let n = x.cols();
+        let _sp = crate::obs_spmm(self.nnz(), n);
         let mut out = Tensor::zeros(self.rows, n);
         for r in 0..self.rows {
             let o_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
@@ -266,13 +264,9 @@ impl Csr {
     /// `Y @ Y'` consumed by the CFA/DSPR baselines.
     pub fn matmul_csr(&self, other: &Csr) -> Csr {
         assert_eq!(
-            self.cols,
-            other.rows,
+            self.cols, other.rows,
             "matmul_csr inner dimension mismatch: {}x{} vs {}x{}",
-            self.rows,
-            self.cols,
-            other.rows,
-            other.cols
+            self.rows, self.cols, other.rows, other.cols
         );
         let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
         let mut acc: Vec<f32> = vec![0.0; other.cols];
@@ -310,10 +304,8 @@ impl Csr {
     /// Keeps each stored entry with probability `1 - drop_prob`, preserving
     /// values. Used for SGL/KGCL edge-dropout graph views.
     pub fn drop_edges(&self, drop_prob: f32, rng: &mut impl rand::Rng) -> Csr {
-        let triplets: Vec<(u32, u32, f32)> = self
-            .iter()
-            .filter(|_| rng.gen::<f32>() >= drop_prob)
-            .collect();
+        let triplets: Vec<(u32, u32, f32)> =
+            self.iter().filter(|_| rng.gen::<f32>() >= drop_prob).collect();
         Csr::from_triplets(self.rows, self.cols, &triplets)
     }
 }

@@ -24,6 +24,30 @@ use crate::tensor::Tensor;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
 
+/// Telemetry for embedding gathers: timed under `op.gather`, with invocation
+/// and copied-element counters. Inert unless telemetry is enabled.
+#[inline]
+fn obs_gather(rows: usize, cols: usize) -> imcat_obs::Span {
+    let sp = imcat_obs::span("op.gather");
+    if sp.active() {
+        imcat_obs::counter_add("op.gather.count", 1);
+        imcat_obs::counter_add("op.gather.elements", (rows * cols) as u64);
+    }
+    sp
+}
+
+/// Telemetry for elementwise / row-wise map ops: timed under
+/// `op.elementwise` with invocation and element counters.
+#[inline]
+fn obs_elementwise(elements: usize) -> imcat_obs::Span {
+    let sp = imcat_obs::span("op.elementwise");
+    if sp.active() {
+        imcat_obs::counter_add("op.elementwise.count", 1);
+        imcat_obs::counter_add("op.elementwise.elements", elements as u64);
+    }
+    sp
+}
+
 enum Op {
     Constant,
     Leaf { pid: ParamId },
@@ -132,6 +156,7 @@ impl Tape {
     pub fn gather(&mut self, store: &ParamStore, pid: ParamId, rows: &[u32]) -> Var {
         let table = store.value(pid);
         let d = table.cols();
+        let _sp = obs_gather(rows.len(), d);
         let mut out = Tensor::zeros(rows.len(), d);
         for (i, &r) in rows.iter().enumerate() {
             out.row_mut(i).copy_from_slice(table.row(r as usize));
@@ -143,6 +168,7 @@ impl Tape {
     pub fn gather_rows(&mut self, a: Var, rows: &[u32]) -> Var {
         let src = self.value(a);
         let d = src.cols();
+        let _sp = obs_gather(rows.len(), d);
         let mut out = Tensor::zeros(rows.len(), d);
         for (i, &r) in rows.iter().enumerate() {
             out.row_mut(i).copy_from_slice(src.row(r as usize));
@@ -186,6 +212,7 @@ impl Tape {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let _sp = obs_elementwise(va.len());
         let mut out = va.clone();
         out.add_assign(vb);
         self.push(out, Op::Add { a, b })
@@ -195,6 +222,7 @@ impl Tape {
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
+        let _sp = obs_elementwise(va.len());
         let mut out = va.clone();
         out.axpy(-1.0, vb);
         self.push(out, Op::Sub { a, b })
@@ -204,6 +232,7 @@ impl Tape {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let _sp = obs_elementwise(va.len());
         let data = va.as_slice().iter().zip(vb.as_slice()).map(|(x, y)| x * y).collect();
         let out = Tensor::from_vec(va.rows(), va.cols(), data);
         self.push(out, Op::Mul { a, b })
@@ -272,12 +301,14 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let _sp = obs_elementwise(self.value(a).len());
         let out = self.value(a).map(stable_sigmoid);
         self.push(out, Op::Sigmoid { a })
     }
 
     /// Numerically stable `log(sigmoid(x))`.
     pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        let _sp = obs_elementwise(self.value(a).len());
         let out = self.value(a).map(|x| {
             if x >= 0.0 {
                 -(1.0 + (-x).exp()).ln()
@@ -290,6 +321,7 @@ impl Tape {
 
     /// LeakyReLU with negative slope `alpha` (`alpha = 0` is plain ReLU).
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let _sp = obs_elementwise(self.value(a).len());
         let out = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(out, Op::LeakyRelu { a, alpha })
     }
@@ -301,6 +333,7 @@ impl Tape {
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let _sp = obs_elementwise(self.value(a).len());
         let out = self.value(a).map(f32::tanh);
         self.push(out, Op::Tanh { a })
     }
@@ -461,12 +494,7 @@ impl Tape {
         let mut out = Tensor::zeros(va.rows(), vb.rows());
         for i in 0..va.rows() {
             for j in 0..vb.rows() {
-                let d: f32 = va
-                    .row(i)
-                    .iter()
-                    .zip(vb.row(j))
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
+                let d: f32 = va.row(i).iter().zip(vb.row(j)).map(|(x, y)| (x - y) * (x - y)).sum();
                 out.set(i, j, d);
             }
         }
@@ -520,8 +548,7 @@ impl Tape {
         let scale = 1.0 / (1.0 - p);
         let mask: Vec<f32> =
             (0..va.len()).map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale }).collect();
-        let data: Vec<f32> =
-            va.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let data: Vec<f32> = va.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
         let out = Tensor::from_vec(va.rows(), va.cols(), data);
         self.push(out, Op::Dropout { a, mask })
     }
@@ -532,6 +559,11 @@ impl Tape {
     /// `store` and returning the per-node gradients.
     pub fn backward(&self, loss: Var, store: &mut ParamStore) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be a scalar");
+        let _sp = imcat_obs::span("phase.backward");
+        if _sp.active() {
+            imcat_obs::counter_add("op.backward.count", 1);
+            imcat_obs::counter_add("op.backward.nodes", self.nodes.len() as u64);
+        }
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
@@ -556,11 +588,9 @@ impl Tape {
     ) {
         let val = |v: Var| &self.nodes[v.0].value;
         let out_val = &self.nodes[i].value;
-        let mut acc = |v: Var, delta: Tensor| {
-            match &mut grads[v.0] {
-                Some(t) => t.add_assign(&delta),
-                slot @ None => *slot = Some(delta),
-            }
+        let mut acc = |v: Var, delta: Tensor| match &mut grads[v.0] {
+            Some(t) => t.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
         };
         match &self.nodes[i].op {
             Op::Constant => {}
@@ -627,9 +657,7 @@ impl Tape {
                 for r in 0..g.rows() {
                     let s = vv.get(r, 0);
                     let mut dot = 0.0;
-                    for ((o, &gg), &aa) in
-                        da.row_mut(r).iter_mut().zip(g.row(r)).zip(va.row(r))
-                    {
+                    for ((o, &gg), &aa) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(va.row(r)) {
                         *o = gg * s;
                         dot += gg * aa;
                     }
@@ -681,11 +709,8 @@ impl Tape {
                 let mut da = Tensor::zeros(va.rows(), va.cols());
                 for r in 0..va.rows() {
                     let n = norms[r];
-                    let dot: f32 =
-                        g.row(r).iter().zip(va.row(r)).map(|(x, y)| x * y).sum();
-                    for ((dst, &gg), &x) in
-                        da.row_mut(r).iter_mut().zip(g.row(r)).zip(va.row(r))
-                    {
+                    let dot: f32 = g.row(r).iter().zip(va.row(r)).map(|(x, y)| x * y).sum();
+                    for ((dst, &gg), &x) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(va.row(r)) {
                         *dst = gg / n - x * dot / (n * n * n);
                     }
                 }
@@ -696,9 +721,7 @@ impl Tape {
                 let mut da = Tensor::zeros(s.rows(), s.cols());
                 for r in 0..s.rows() {
                     let dot: f32 = g.row(r).iter().zip(s.row(r)).map(|(x, y)| x * y).sum();
-                    for ((dst, &gg), &ss) in
-                        da.row_mut(r).iter_mut().zip(g.row(r)).zip(s.row(r))
-                    {
+                    for ((dst, &gg), &ss) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(s.row(r)) {
                         *dst = ss * (gg - dot);
                     }
                 }
@@ -709,9 +732,7 @@ impl Tape {
                 let mut da = Tensor::zeros(ls.rows(), ls.cols());
                 for r in 0..ls.rows() {
                     let gsum: f32 = g.row(r).iter().sum();
-                    for ((dst, &gg), &l) in
-                        da.row_mut(r).iter_mut().zip(g.row(r)).zip(ls.row(r))
-                    {
+                    for ((dst, &gg), &l) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(ls.row(r)) {
                         *dst = gg - l.exp() * gsum;
                     }
                 }

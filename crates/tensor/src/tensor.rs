@@ -156,11 +156,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), rows: self.rows, cols: self.cols }
     }
 
     /// In-place `self += other`. Shapes must match.
@@ -202,12 +198,14 @@ impl Tensor {
     /// Dense matrix product `self @ other` (`[m,k] x [k,n] -> [m,n]`).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul inner dimension mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
         // ikj loop order: streams through `other` and `out` rows contiguously.
         for i in 0..m {
@@ -230,12 +228,14 @@ impl Tensor {
     /// `self @ other^T` (`[m,k] x [n,k]^T -> [m,n]`).
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt inner dimension mismatch: {:?} x {:?}^T",
             self.shape(),
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -256,12 +256,14 @@ impl Tensor {
     /// `self^T @ other` (`[k,m]^T x [k,n] -> [m,n]`).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn inner dimension mismatch: {:?}^T x {:?}",
             self.shape(),
             other.shape()
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
@@ -282,11 +284,7 @@ impl Tensor {
     /// True when every pairwise difference is within `tol`.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

@@ -91,10 +91,7 @@ fn adam_survives_huge_gradients() {
         let loss = tape.sum_all(big);
         tape.backward(loss, &mut store);
         adam.step(&mut store);
-        assert!(
-            store.value(p).item().is_finite(),
-            "Adam produced non-finite weight"
-        );
+        assert!(store.value(p).item().is_finite(), "Adam produced non-finite weight");
     }
 }
 

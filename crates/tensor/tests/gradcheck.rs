@@ -222,10 +222,7 @@ fn grad_student_t_kl_loss() {
     let qhat = Tensor::from_vec(
         5,
         3,
-        vec![
-            0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4, 0.05, 0.15, 0.8, 0.5, 0.25,
-            0.25,
-        ],
+        vec![0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4, 0.05, 0.15, 0.8, 0.5, 0.25, 0.25],
     );
     gradcheck(
         &mut store,

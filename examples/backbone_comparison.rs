@@ -9,8 +9,7 @@
 use imcat::prelude::*;
 
 fn train_and_test(model: &mut dyn RecModel, split: &SplitDataset) -> (f64, usize, f64) {
-    let cfg =
-        TrainerConfig { max_epochs: 80, eval_every: 10, patience: 3, ..Default::default() };
+    let cfg = TrainerConfig { max_epochs: 80, eval_every: 10, patience: 3, ..Default::default() };
     let report = trainer::train(model, split, &cfg);
     let mut score_fn = |users: &[u32]| model.score_users(users);
     let m = evaluate(&mut score_fn, split, 20, EvalTarget::Test);
@@ -49,8 +48,7 @@ fn main() {
     let mut lightgcn = LightGcn::new(&split, tcfg(), &mut rng);
     let (r, e, t) = train_and_test(&mut lightgcn, &split);
     println!("{:<12} {:>8.4} {:>8} {:>10.1}", "LightGCN", r, e, t);
-    let mut l_imcat =
-        Imcat::new(LightGcn::new(&split, tcfg(), &mut rng), &split, icfg, &mut rng);
+    let mut l_imcat = Imcat::new(LightGcn::new(&split, tcfg(), &mut rng), &split, icfg, &mut rng);
     let (r, e, t) = train_and_test(&mut l_imcat, &split);
     println!("{:<12} {:>8.4} {:>8} {:>10.1}", "L-IMCAT", r, e, t);
 }

@@ -48,10 +48,7 @@ fn main() {
         "{:<10} {:>14.4} {:>14.4} {:>8}",
         "LightGCN", all1.recall, cold1.recall, r1.epochs_run
     );
-    println!(
-        "{:<10} {:>14.4} {:>14.4} {:>8}",
-        "L-IMCAT", all2.recall, cold2.recall, r2.epochs_run
-    );
+    println!("{:<10} {:>14.4} {:>14.4} {:>8}", "L-IMCAT", all2.recall, cold2.recall, r2.epochs_run);
 
     let lift = |a: f64, b: f64| if b > 0.0 { (a / b - 1.0) * 100.0 } else { 0.0 };
     println!(

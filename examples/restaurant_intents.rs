@@ -15,15 +15,42 @@ use imcat::prelude::*;
 const INTENTS: [(&str, &[&str]); 3] = [
     (
         "taste",
-        &["delicious", "yummy", "amazing-dessert", "great-coffee", "fresh", "tasty-soup", "crispy", "rich-flavor"],
+        &[
+            "delicious",
+            "yummy",
+            "amazing-dessert",
+            "great-coffee",
+            "fresh",
+            "tasty-soup",
+            "crispy",
+            "rich-flavor",
+        ],
     ),
     (
         "service",
-        &["friendly-waiter", "feels-like-home", "fast-service", "attentive", "kind-staff", "no-wait", "helpful", "welcoming"],
+        &[
+            "friendly-waiter",
+            "feels-like-home",
+            "fast-service",
+            "attentive",
+            "kind-staff",
+            "no-wait",
+            "helpful",
+            "welcoming",
+        ],
     ),
     (
         "ambiance",
-        &["cozy", "romantic", "great-view", "quiet", "live-music", "stylish", "candle-light", "garden-seating"],
+        &[
+            "cozy",
+            "romantic",
+            "great-view",
+            "quiet",
+            "live-music",
+            "stylish",
+            "candle-light",
+            "garden-seating",
+        ],
     ),
 ];
 
@@ -58,12 +85,7 @@ fn main() {
     let mut model = Imcat::new(
         backbone,
         &split,
-        ImcatConfig {
-            k_intents: 3,
-            pretrain_epochs: 25,
-            gamma: 0.5,
-            ..Default::default()
-        },
+        ImcatConfig { k_intents: 3, pretrain_epochs: 25, gamma: 0.5, ..Default::default() },
         &mut rng,
     );
     for _ in 0..150 {
@@ -74,10 +96,8 @@ fn main() {
     let assignment = model.cluster_assignment().expect("clustering is active");
     println!("learned tag clusters:");
     for k in 0..3 {
-        let members: Vec<&str> = (0..cfg.n_tags)
-            .filter(|&t| assignment[t] == k)
-            .map(|t| names[t].as_str())
-            .collect();
+        let members: Vec<&str> =
+            (0..cfg.n_tags).filter(|&t| assignment[t] == k).map(|t| names[t].as_str()).collect();
         println!("  cluster {k}: {members:?}");
     }
 
@@ -101,8 +121,7 @@ fn main() {
     println!("\nintent relatedness of the first 5 restaurants (rows of M):");
     for j in 0..5 {
         let row: Vec<String> = m.row(j).iter().map(|v| format!("{v:.2}")).collect();
-        let mix: Vec<String> =
-            truth.item_mix[j].iter().map(|v| format!("{v:.2}")).collect();
+        let mix: Vec<String> = truth.item_mix[j].iter().map(|v| format!("{v:.2}")).collect();
         println!("  restaurant {j}: M = {row:?}   (true intent mix = {mix:?})");
     }
 
@@ -119,7 +138,11 @@ fn main() {
                     c.supporting_tags.iter().map(|&t| names[t as usize].as_str()).collect();
                 println!(
                     "  intent {} ({}): score {:+.3}, relatedness {:.2}, evidence {:?}",
-                    c.intent, INTENTS[c.intent.min(2)].0, c.score, c.item_relatedness, tag_names
+                    c.intent,
+                    INTENTS[c.intent.min(2)].0,
+                    c.score,
+                    c.item_relatedness,
+                    tag_names
                 );
             }
         }

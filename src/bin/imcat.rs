@@ -58,8 +58,7 @@ impl Flags {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("missing value for --{key}"))?;
+            let value = args.get(i + 1).ok_or_else(|| format!("missing value for --{key}"))?;
             map.insert(key.to_string(), value.clone());
             i += 2;
         }
@@ -131,13 +130,8 @@ fn load(flags: &Flags) -> Result<Dataset, String> {
         min_degree: flags.num("min-degree", 10)?,
         min_tag_items: flags.num("min-tag-items", 5)?,
     };
-    load_dataset(
-        "cli",
-        flags.require("user-item")?,
-        flags.require("item-tag")?,
-        filter,
-    )
-    .map_err(|e| e.to_string())
+    load_dataset("cli", flags.require("user-item")?, flags.require("item-tag")?, filter)
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
@@ -166,8 +160,7 @@ impl CliModel {
         seed: u64,
     ) -> Result<CliModel, String> {
         let tcfg = TrainConfig { dim, ..TrainConfig::default() };
-        let icfg =
-            ImcatConfig { k_intents: intents, pretrain_epochs: 5, ..Default::default() };
+        let icfg = ImcatConfig { k_intents: intents, pretrain_epochs: 5, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(seed);
         Ok(match name {
             "bprmf" => CliModel::Bprmf(Bprmf::new(split, tcfg, &mut rng)),

@@ -55,17 +55,15 @@ pub use imcat_tensor as tensor;
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use imcat_core::{trainer, AlignMode, Imcat, ImcatConfig, TrainerConfig};
-    pub use imcat_data::{
-        generate, BprSampler, Dataset, FilterConfig, SplitDataset, SynthConfig,
-    };
+    pub use imcat_data::{generate, BprSampler, Dataset, FilterConfig, SplitDataset, SynthConfig};
     pub use imcat_eval::{
         cold_start_users, evaluate, evaluate_per_user, evaluate_user_subset,
         group_recall_contribution, item_popularity_groups, paired_t_test, EvalTarget,
     };
     pub use imcat_graph::{degree_groups, Bipartite, ClusterTagSets};
     pub use imcat_models::{
-        Backbone, Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel,
-        RippleNet, Sgl, Tgcn, TrainConfig,
+        Backbone, Bprmf, Cfa, Cke, Dspr, Kgat, Kgcl, Kgin, LightGcn, Neumf, RecModel, RippleNet,
+        Sgl, Tgcn, TrainConfig,
     };
     pub use imcat_tensor::{Csr, ParamStore, Tape, Tensor};
     pub use rand::rngs::StdRng;

@@ -54,12 +54,12 @@ fn training_is_deterministic_given_seeds() {
 fn imcat_beats_its_backbone_when_tags_matter() {
     // With strongly intent-driven data and a weak backbone, the alignment
     // signal should produce a visible improvement.
-    let split = tiny_split(4);
+    let split = tiny_split(14);
     let cfg = TrainerConfig { max_epochs: 60, eval_every: 10, patience: 6, ..Default::default() };
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(15);
     let mut plain = Bprmf::new(&split, TrainConfig::default(), &mut rng);
     let base = trainer::train(&mut plain, &split, &cfg);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(15);
     let backbone = Bprmf::new(&split, TrainConfig::default(), &mut rng);
     let mut wrapped = Imcat::new(
         backbone,
@@ -119,8 +119,8 @@ fn group_and_cold_analyses_compose() {
 
 #[test]
 fn paired_t_test_on_model_comparison() {
-    let split = tiny_split(10);
-    let mut rng = StdRng::seed_from_u64(11);
+    let split = tiny_split(20);
+    let mut rng = StdRng::seed_from_u64(21);
     let mut good = Bprmf::new(&split, TrainConfig::default(), &mut rng);
     for _ in 0..120 {
         good.train_epoch(&mut rng);

@@ -55,11 +55,7 @@ fn loaded_dataset_trains_end_to_end() {
         raw.item_tag.push((i, i % 5));
         raw.item_tag.push((i, (i + 1) % 5));
     }
-    let data = build_dataset(
-        "in-memory",
-        raw,
-        FilterConfig { min_degree: 5, min_tag_items: 2 },
-    );
+    let data = build_dataset("in-memory", raw, FilterConfig { min_degree: 5, min_tag_items: 2 });
     assert!(data.n_users() > 0 && data.n_items() > 0 && data.n_tags() > 0);
     let mut rng = StdRng::seed_from_u64(0);
     let split = data.split((0.7, 0.1, 0.2), &mut rng);
@@ -76,10 +72,8 @@ fn preset_statistics_track_table1_shape() {
     // The seven presets must preserve the paper's *relative* structure:
     // HetRec-MV is by far the densest UI matrix; Yelp has the densest IT
     // matrix; Delicious has the largest tag vocabulary relative to items.
-    let stats: Vec<_> = SynthConfig::all_presets()
-        .iter()
-        .map(|c| generate(c, 0).dataset.stats())
-        .collect();
+    let stats: Vec<_> =
+        SynthConfig::all_presets().iter().map(|c| generate(c, 0).dataset.stats()).collect();
     let by_name = |needle: &str| {
         stats
             .iter()
