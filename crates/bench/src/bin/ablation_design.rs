@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin ablation_design`
 
-use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, run_trials, write_json, Env, ExpLog, ModelKind};
 use imcat_core::ImcatConfig;
 
 struct Row {
@@ -29,20 +29,21 @@ fn main() {
         ("no independence reg", ImcatConfig { independence_weight: 0.0, ..env.imcat_config() }),
         ("tau = 0.2", ImcatConfig { tau: 0.2, ..env.imcat_config() }),
     ];
+    let mut log = ExpLog::new("ablation_design");
     let mut rows = Vec::new();
-    println!("Design ablations for L-IMCAT (R@20 / N@20, %)\n");
+    logln!(log, "Design ablations for L-IMCAT (R@20 / N@20, %)\n");
     for key in ["del", "cite"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
-        println!("== {} ==", data.name);
+        logln!(log, "== {} ==", data.name);
         for (name, icfg) in &variants {
             let (results, _) = run_trials(ModelKind::LImcat, &data, &env, icfg);
             let recall = imcat_bench::mean_of(&results, |r| r.recall);
             let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
-            println!("{name:<24} {:>8.2} {:>8.2}", recall * 100.0, ndcg * 100.0);
+            logln!(log, "{name:<24} {:>8.2} {:>8.2}", recall * 100.0, ndcg * 100.0);
             rows.push(Row { variant: name.to_string(), dataset: data.name.clone(), recall, ndcg });
         }
-        println!();
+        logln!(log);
     }
     let path = write_json("ablation_design", &rows);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

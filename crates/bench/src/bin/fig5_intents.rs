@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p imcat-bench --bin fig5_intents`
 //! Note: `K` must divide `IMCAT_DIM` (default 32, so all five K values work).
 
-use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, run_trials, write_json, Env, ExpLog, ModelKind};
 use imcat_core::ImcatConfig;
 
 struct Point {
@@ -19,23 +19,24 @@ imcat_obs::impl_to_json!(Point { model, dataset, k, recall, ndcg });
 fn main() {
     let env = Env::from_env();
     let ks = [1usize, 2, 4, 8, 16];
+    let mut log = ExpLog::new("fig5_intents");
     let mut points = Vec::new();
-    println!("Fig. 5: impact of the number of intents K (R@20, %)\n");
+    logln!(log, "Fig. 5: impact of the number of intents K (R@20, %)\n");
     for key in ["fm", "del", "cite"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
-        println!("== {} ==", data.name);
+        logln!(log, "== {} ==", data.name);
         for kind in [ModelKind::NImcat, ModelKind::LImcat] {
-            print!("{:<10}", kind.name());
+            let mut line = format!("{:<10}", kind.name());
             for &k in &ks {
                 if !env.dim.is_multiple_of(k) {
-                    print!(" {:>7}", "-");
+                    line.push_str(&format!(" {:>7}", "-"));
                     continue;
                 }
                 let icfg = ImcatConfig { k_intents: k, ..env.imcat_config() };
                 let (results, _) = run_trials(kind, &data, &env, &icfg);
                 let recall = imcat_bench::mean_of(&results, |r| r.recall);
                 let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
-                print!(" {:>7.2}", recall * 100.0);
+                line.push_str(&format!(" {:>7.2}", recall * 100.0));
                 points.push(Point {
                     model: kind.name().to_string(),
                     dataset: data.name.clone(),
@@ -44,10 +45,10 @@ fn main() {
                     ndcg,
                 });
             }
-            println!("   (K = {ks:?})");
+            logln!(log, "{line}   (K = {ks:?})");
         }
-        println!();
+        logln!(log);
     }
     let path = write_json("fig5_intents", &points);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin fig6_threshold`
 
-use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, run_trials, write_json, Env, ExpLog, ModelKind};
 use imcat_core::ImcatConfig;
 
 struct Point {
@@ -19,22 +19,24 @@ imcat_obs::impl_to_json!(Point { model, dataset, delta, recall, ratio_vs_no_isa 
 fn main() {
     let env = Env::from_env();
     let deltas = [0.1f32, 0.3, 0.5, 0.7, 0.9];
+    let mut log = ExpLog::new("fig6_threshold");
     let mut points = Vec::new();
-    println!("Fig. 6: ISA threshold δ sweep (R@20 ratio vs no-ISA)\n");
+    logln!(log, "Fig. 6: ISA threshold δ sweep (R@20 ratio vs no-ISA)\n");
     for key in ["del", "cite"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
-        println!("== {} ==", data.name);
+        logln!(log, "== {} ==", data.name);
         for kind in [ModelKind::NImcat, ModelKind::LImcat] {
             let base_cfg = env.imcat_config().without_isa();
             let (base_results, _) = run_trials(kind, &data, &env, &base_cfg);
             let base = imcat_bench::mean_of(&base_results, |r| r.recall);
-            print!("{:<10} (no-ISA R@20 {:.2}%) ratios:", kind.name(), base * 100.0);
+            let mut line =
+                format!("{:<10} (no-ISA R@20 {:.2}%) ratios:", kind.name(), base * 100.0);
             for &delta in &deltas {
                 let icfg = ImcatConfig { delta, use_isa: true, ..env.imcat_config() };
                 let (results, _) = run_trials(kind, &data, &env, &icfg);
                 let recall = imcat_bench::mean_of(&results, |r| r.recall);
                 let ratio = if base > 0.0 { recall / base } else { 0.0 };
-                print!(" {ratio:>6.3}");
+                line.push_str(&format!(" {ratio:>6.3}"));
                 points.push(Point {
                     model: kind.name().to_string(),
                     dataset: data.name.clone(),
@@ -43,10 +45,10 @@ fn main() {
                     ratio_vs_no_isa: ratio,
                 });
             }
-            println!("   (δ = {deltas:?})");
+            logln!(log, "{line}   (δ = {deltas:?})");
         }
-        println!();
+        logln!(log);
     }
     let path = write_json("fig6_threshold", &points);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin fig7_longtail`
 
-use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, write_json, Env, ExpLog, ModelKind};
 use imcat_core::train;
 use imcat_eval::{group_recall_contribution, item_popularity_groups};
 
@@ -28,13 +28,14 @@ fn main() {
         ModelKind::Kgcl,
         ModelKind::LImcat,
     ];
+    let mut log = ExpLog::new("fig7_longtail");
     let mut rows = Vec::new();
-    println!("Fig. 7: per-popularity-group contribution to R@20\n");
+    logln!(log, "Fig. 7: per-popularity-group contribution to R@20\n");
     for key in ["del", "cite"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
         let groups = item_popularity_groups(&data, 5);
-        println!("== {} ==", data.name);
-        println!("{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}", "model", "G1", "G2", "G3", "G4", "G5");
+        logln!(log, "== {} ==", data.name);
+        logln!(log, "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}", "model", "G1", "G2", "G3", "G4", "G5");
         let mut dataset_rows: Vec<Row> = Vec::new();
         for kind in models {
             let icfg = env.imcat_config();
@@ -58,18 +59,19 @@ fn main() {
             }
         }
         for r in &dataset_rows {
-            print!("{:<10}", r.model);
+            let mut line = format!("{:<10}", r.model);
             for g in 0..5 {
-                print!(" {:>8.3}", r.normalized[g]);
+                line.push_str(&format!(" {:>8.3}", r.normalized[g]));
             }
-            println!(
-                "   (abs: {:?})",
+            logln!(
+                log,
+                "{line}   (abs: {:?})",
                 r.contributions.iter().map(|c| (c * 1000.0).round() / 10.0).collect::<Vec<_>>()
             );
         }
-        println!();
+        logln!(log);
         rows.extend(dataset_rows);
     }
     let path = write_json("fig7_longtail", &rows);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin fig8_coldstart`
 
-use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, write_json, Env, ExpLog, ModelKind};
 use imcat_core::train;
 use imcat_eval::{cold_start_users, evaluate_user_subset};
 
@@ -28,13 +28,14 @@ fn main() {
         ModelKind::Kgcl,
         ModelKind::LImcat,
     ];
+    let mut log = ExpLog::new("fig8_coldstart");
     let mut rows = Vec::new();
-    println!("Fig. 8: cold-start users (< 10 training interactions)\n");
+    logln!(log, "Fig. 8: cold-start users (< 10 training interactions)\n");
     for key in ["cite", "amz"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
         let cold = cold_start_users(&data, 10);
-        println!("== {} ({} cold users) ==", data.name, cold.len());
-        println!("{:<10} {:>8} {:>8} {:>11}", "model", "R@20", "N@20", "normalized");
+        logln!(log, "== {} ({} cold users) ==", data.name, cold.len());
+        logln!(log, "{:<10} {:>8} {:>8} {:>11}", "model", "R@20", "N@20", "normalized");
         let mut dataset_rows: Vec<Row> = Vec::new();
         for kind in models {
             let icfg = env.imcat_config();
@@ -54,7 +55,8 @@ fn main() {
         let best = dataset_rows.iter().map(|r| r.recall).fold(0.0f64, f64::max).max(1e-12);
         for r in &mut dataset_rows {
             r.normalized_recall = r.recall / best;
-            println!(
+            logln!(
+                log,
                 "{:<10} {:>8.2} {:>8.2} {:>11.3}",
                 r.model,
                 r.recall * 100.0,
@@ -62,9 +64,9 @@ fn main() {
                 r.normalized_recall
             );
         }
-        println!();
+        logln!(log);
         rows.extend(dataset_rows);
     }
     let path = write_json("fig8_coldstart", &rows);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

@@ -9,7 +9,7 @@
 //! `coarse` (default) sweeps a 12-point subgrid; `paper` sweeps the full
 //! 6×6×6 grid (216 training runs — budget accordingly).
 
-use imcat_bench::{preset_by_key, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, write_json, Env, ExpLog, ModelKind};
 use imcat_core::{train, ImcatConfig};
 
 #[derive(Clone)]
@@ -45,14 +45,16 @@ fn main() {
     };
 
     let data = env.dataset(&preset_by_key(&dataset_key).unwrap());
-    println!(
+    let mut log = ExpLog::new("sweep_hyperparams");
+    logln!(
+        log,
         "sweeping {} on {} ({} grid: {} points)\n",
         kind.name(),
         data.name,
         grid_kind,
         alphas.len() * betas.len() * gammas.len()
     );
-    println!("{:>8} {:>8} {:>8} {:>10} {:>7}", "alpha", "beta", "gamma", "val R@20", "epochs");
+    logln!(log, "{:>8} {:>8} {:>8} {:>10} {:>7}", "alpha", "beta", "gamma", "val R@20", "epochs");
     let mut points = Vec::new();
     let mut best: Option<SweepPoint> = None;
     for &alpha in &alphas {
@@ -61,9 +63,14 @@ fn main() {
                 let icfg = ImcatConfig { alpha, beta, gamma, ..env.imcat_config() };
                 let mut model = kind.build(&data, &env.train_config(), &icfg, 1);
                 let report = train(model.as_mut(), &data, &env.trainer_config(7));
-                println!(
+                logln!(
+                    log,
                     "{:>8} {:>8} {:>8} {:>10.4} {:>7}",
-                    alpha, beta, gamma, report.best_val_recall, report.epochs_run
+                    alpha,
+                    beta,
+                    gamma,
+                    report.best_val_recall,
+                    report.epochs_run
                 );
                 let p = SweepPoint {
                     alpha,
@@ -81,11 +88,15 @@ fn main() {
         }
     }
     if let Some(b) = &best {
-        println!(
+        logln!(
+            log,
             "\nbest: alpha={} beta={} gamma={} (val R@20 {:.4})",
-            b.alpha, b.beta, b.gamma, b.val_recall
+            b.alpha,
+            b.beta,
+            b.gamma,
+            b.val_recall
         );
     }
     let path = write_json("sweep_hyperparams", &points);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

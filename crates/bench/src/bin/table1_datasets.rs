@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release -p imcat-bench --bin table1_datasets`
 //! Environment: `IMCAT_SCALE` scales every preset.
 
-use imcat_bench::{all_preset_keys, preset_by_key, write_json, Env};
+use imcat_bench::{all_preset_keys, logln, preset_by_key, write_json, Env, ExpLog};
 
 struct Row {
     dataset: String,
@@ -32,8 +32,10 @@ imcat_obs::impl_to_json!(Row {
 
 fn main() {
     let env = Env::from_env();
-    println!("Table I: dataset statistics (synthetic presets, scale {}):\n", env.scale);
-    println!(
+    let mut log = ExpLog::new("table1_datasets");
+    logln!(log, "Table I: dataset statistics (synthetic presets, scale {}):\n", env.scale);
+    logln!(
+        log,
         "{:<14} {:>7} {:>7} {:>6} {:>8} {:>9} {:>8} {:>8} {:>9} {:>8}",
         "dataset",
         "#User",
@@ -67,7 +69,8 @@ fn main() {
             it_density_pct: data.item_tag.density() * 100.0,
             it_avg_degree: data.item_tag.avg_row_degree(),
         };
-        println!(
+        logln!(
+            log,
             "{:<14} {:>7} {:>7} {:>6} {:>8} {:>9.2} {:>8.2} {:>8} {:>9.2} {:>8.2}",
             key,
             row.users,
@@ -83,5 +86,5 @@ fn main() {
         rows.push(row);
     }
     let path = write_json("table1_datasets", &rows);
-    println!("\nwrote {}", path.display());
+    logln!(log, "\nwrote {}", path.display());
 }

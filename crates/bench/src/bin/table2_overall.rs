@@ -6,7 +6,9 @@
 //!   cargo run --release -p imcat-bench --bin table2_overall [-- --datasets mv,del --models BPRMF,L-IMCAT]
 //! Environment: `IMCAT_SCALE`, `IMCAT_EPOCHS`, `IMCAT_TRIALS`, `IMCAT_DIM`.
 
-use imcat_bench::{all_preset_keys, preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_bench::{
+    all_preset_keys, logln, preset_by_key, run_trials, write_json, Env, ExpLog, ModelKind,
+};
 use imcat_eval::paired_t_test;
 
 struct Cell {
@@ -58,17 +60,29 @@ fn main() {
         .unwrap_or_else(ModelKind::all);
 
     let icfg = env.imcat_config();
+    let mut log = ExpLog::new("table2_overall");
     let mut cells = Vec::new();
     let mut significance = Vec::new();
-    println!(
+    logln!(
+        log,
         "Table II: R@20 / N@20 (%) — scale {}, {} epochs max, {} trial(s)\n",
-        env.scale, env.max_epochs, env.trials
+        env.scale,
+        env.max_epochs,
+        env.trials
     );
     for key in &datasets {
         let preset = preset_by_key(key).unwrap_or_else(|| panic!("unknown dataset {key}"));
         let data = env.dataset(&preset);
-        println!("== {} ==", data.name);
-        println!("{:<12} {:>8} {:>8} {:>10} {:>7}", "model", "R@20", "N@20", "time(s)", "epochs");
+        logln!(log, "== {} ==", data.name);
+        logln!(
+            log,
+            "{:<12} {:>8} {:>8} {:>10} {:>7}",
+            "model",
+            "R@20",
+            "N@20",
+            "time(s)",
+            "epochs"
+        );
         let mut best_baseline: Option<(ModelKind, f64, Vec<f64>)> = None;
         let mut imcat_pool: Option<Vec<f64>> = None;
         for &kind in &models {
@@ -77,7 +91,8 @@ fn main() {
             let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
             let secs = imcat_bench::mean_of(&results, |r| r.train_seconds);
             let epochs = imcat_bench::mean_of(&results, |r| r.epochs as f64);
-            println!(
+            logln!(
+                log,
                 "{:<12} {:>8.2} {:>8.2} {:>10.2} {:>7.0}",
                 kind.name(),
                 recall * 100.0,
@@ -105,7 +120,8 @@ fn main() {
         if let (Some((bk, _, base_pool)), Some(pool)) = (best_baseline, imcat_pool) {
             if pool.len() == base_pool.len() && pool.len() >= 2 {
                 let tt = paired_t_test(&pool, &base_pool);
-                println!(
+                logln!(
+                    log,
                     "paired t-test L-IMCAT vs {} (best baseline): t = {:.3}, p = {:.4}",
                     bk.name(),
                     tt.t,
@@ -119,9 +135,9 @@ fn main() {
                 });
             }
         }
-        println!();
+        logln!(log);
     }
     let path = write_json("table2_overall", &Report { cells, significance });
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
     imcat_bench::obs_finish();
 }

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p imcat-bench --bin table3_ablation`
 //! Environment: `IMCAT_SCALE`, `IMCAT_EPOCHS`, `IMCAT_TRIALS`, `IMCAT_DIM`.
 
-use imcat_bench::{preset_by_key, run_trials, write_json, Env, ModelKind};
+use imcat_bench::{logln, preset_by_key, run_trials, write_json, Env, ExpLog, ModelKind};
 use imcat_core::ImcatConfig;
 
 struct Row {
@@ -28,19 +28,21 @@ fn main() {
         ("w/o UI", ImcatConfig::without_ui),
         ("w/o NLT", ImcatConfig::without_nlt),
     ];
+    let mut log = ExpLog::new("table3_ablation");
     let mut rows = Vec::new();
-    println!("Table III: IMCA design ablations (R@20 / N@20, %)\n");
+    logln!(log, "Table III: IMCA design ablations (R@20 / N@20, %)\n");
     for key in ["del", "cite", "yelp"] {
         let data = env.dataset(&preset_by_key(key).unwrap());
-        println!("== {} ==", data.name);
-        println!("{:<10} {:<9} {:>8} {:>8}", "model", "variant", "R@20", "N@20");
+        logln!(log, "== {} ==", data.name);
+        logln!(log, "{:<10} {:<9} {:>8} {:>8}", "model", "variant", "R@20", "N@20");
         for kind in [ModelKind::NImcat, ModelKind::LImcat] {
             for (vname, make) in &variants {
                 let icfg = make(env.imcat_config());
                 let (results, _) = run_trials(kind, &data, &env, &icfg);
                 let recall = imcat_bench::mean_of(&results, |r| r.recall);
                 let ndcg = imcat_bench::mean_of(&results, |r| r.ndcg);
-                println!(
+                logln!(
+                    log,
                     "{:<10} {:<9} {:>8.2} {:>8.2}",
                     kind.name(),
                     vname,
@@ -56,8 +58,8 @@ fn main() {
                 });
             }
         }
-        println!();
+        logln!(log);
     }
     let path = write_json("table3_ablation", &rows);
-    println!("wrote {}", path.display());
+    logln!(log, "wrote {}", path.display());
 }

@@ -36,10 +36,55 @@ pub fn obs_finish() {
     if !imcat_obs::enabled() {
         return;
     }
+    // Fold the pool workers' atomic busy-time counters into this thread's
+    // registry before the summary is rendered.
+    imcat_par::flush_obs();
     println!("{}", imcat_obs::summary());
     if let Some(path) = imcat_obs::finalize() {
         println!("telemetry written to {}", path.display());
     }
+}
+
+/// Tees experiment output to stdout *and* `target/experiments/<name>.log`, so
+/// binaries leave their logs under `target/` instead of relying on shell
+/// redirection into the repository root (see the `logln!` macro).
+pub struct ExpLog {
+    file: Option<std::fs::File>,
+    path: PathBuf,
+}
+
+impl ExpLog {
+    /// Opens (truncating) `target/experiments/<name>.log`. Failure to create
+    /// the file degrades to stdout-only logging.
+    pub fn new(name: &str) -> Self {
+        let dir = PathBuf::from("target/experiments");
+        let path = dir.join(format!("{name}.log"));
+        let file =
+            std::fs::create_dir_all(&dir).ok().and_then(|()| std::fs::File::create(&path).ok());
+        Self { file, path }
+    }
+
+    /// Where the log file lives.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Writes one line to stdout and the log file.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        println!("{s}");
+        if let Some(f) = &mut self.file {
+            use std::io::Write as _;
+            let _ = writeln!(f, "{s}");
+        }
+    }
+}
+
+/// `println!` that also appends to an [`ExpLog`].
+#[macro_export]
+macro_rules! logln {
+    ($log:expr) => { $log.line("") };
+    ($log:expr, $($arg:tt)*) => { $log.line(format!($($arg)*)) };
 }
 
 /// Shared experiment environment, configurable through environment variables:
@@ -214,18 +259,33 @@ pub fn run_one(
     )
 }
 
-/// Runs `env.trials` seeds of a cell, returning all results plus the pooled
-/// per-user recall vectors (for paired t-tests across models).
+/// Maps `f` over `items`, fanning the calls out over the `imcat-par` pool
+/// when that cannot disturb measurement: telemetry must be off (the obs
+/// registry is thread-local, so phase breakdowns recorded on a worker would
+/// be lost) and the pool must actually have spare threads. Results come back
+/// in item order either way, and every run is seeded, so the output is
+/// identical between the serial and parallel paths.
+pub fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if imcat_obs::enabled() || !imcat_par::parallelism_available() {
+        return items.iter().map(f).collect();
+    }
+    imcat_par::global().map_chunks(items.len(), 1, |ci, _| f(&items[ci]))
+}
+
+/// Runs `env.trials` seeds of a cell (in parallel when telemetry is off),
+/// returning all results plus the pooled per-user recall vectors (for paired
+/// t-tests across models).
 pub fn run_trials(
     kind: ModelKind,
     data: &SplitDataset,
     env: &Env,
     icfg: &ImcatConfig,
 ) -> (Vec<RunResult>, Vec<f64>) {
+    let seeds: Vec<u64> = (0..env.trials).map(|t| 1000 + t as u64).collect();
+    let runs = run_parallel(&seeds, |&seed| run_one(kind, data, env, icfg, seed));
     let mut results = Vec::with_capacity(env.trials);
     let mut pooled: Vec<f64> = Vec::new();
-    for t in 0..env.trials {
-        let (r, per_user) = run_one(kind, data, env, icfg, 1000 + t as u64);
+    for (r, per_user) in runs {
         results.push(r);
         if pooled.is_empty() {
             pooled = per_user.recall.clone();

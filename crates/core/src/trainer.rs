@@ -59,30 +59,44 @@ pub fn validation_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) ->
     }
     let _sp = imcat_obs::span("phase.eval");
     let scores = model.score_users(&users);
+    // Scoring happens above on this thread (models are not `Sync`); the
+    // per-user ranking math fans out over the pool. Each user fills its own
+    // slot and the slots are reduced in user order, so the recall is
+    // bit-identical for any thread count.
+    let mut per_user = vec![(0.0f64, 0u64); users.len()];
+    imcat_par::global().parallel_chunks_mut(&mut per_user, 64, |ci, slots| {
+        let mut train_set: HashSet<u32> = HashSet::new();
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let row = ci * 64 + off;
+            let u = users[row];
+            train_set.clear();
+            train_set.extend(data.train_items(u as usize).iter().copied());
+            let mut ranked: Vec<(usize, f32)> = scores
+                .row(row)
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(j, _)| !train_set.contains(&(j as u32)))
+                .collect();
+            let bad = ranked.iter().filter(|(_, s)| !s.is_finite()).count() as u64;
+            // total_cmp keeps the ranking well-defined even when a diverged
+            // model produces NaN scores; the guard event below makes that
+            // visible.
+            let top_n = n.min(ranked.len());
+            if top_n > 0 && top_n < ranked.len() {
+                ranked.select_nth_unstable_by(top_n - 1, |a, b| b.1.total_cmp(&a.1));
+            }
+            let top: HashSet<usize> = ranked[..top_n].iter().map(|&(j, _)| j).collect();
+            let val = &data.val[u as usize];
+            let hits = val.iter().filter(|&&t| top.contains(&(t as usize))).count();
+            *slot = (hits as f64 / val.len() as f64, bad);
+        }
+    });
     let mut total = 0.0;
     let mut nonfinite = 0u64;
-    let mut train_set: HashSet<u32> = HashSet::new();
-    for (row, &u) in users.iter().enumerate() {
-        train_set.clear();
-        train_set.extend(data.train_items(u as usize).iter().copied());
-        let mut ranked: Vec<(usize, f32)> = scores
-            .row(row)
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(j, _)| !train_set.contains(&(j as u32)))
-            .collect();
-        nonfinite += ranked.iter().filter(|(_, s)| !s.is_finite()).count() as u64;
-        // total_cmp keeps the ranking well-defined even when a diverged model
-        // produces NaN scores; the guard event below makes that visible.
-        let top_n = n.min(ranked.len());
-        if top_n > 0 && top_n < ranked.len() {
-            ranked.select_nth_unstable_by(top_n - 1, |a, b| b.1.total_cmp(&a.1));
-        }
-        let top: HashSet<usize> = ranked[..top_n].iter().map(|&(j, _)| j).collect();
-        let val = &data.val[u as usize];
-        let hits = val.iter().filter(|&&t| top.contains(&(t as usize))).count();
-        total += hits as f64 / val.len() as f64;
+    for &(recall, bad) in &per_user {
+        total += recall;
+        nonfinite += bad;
     }
     if nonfinite > 0 && imcat_obs::enabled() {
         imcat_obs::counter_add("guard.nonfinite_score", nonfinite);

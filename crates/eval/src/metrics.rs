@@ -20,8 +20,11 @@ pub struct RankingMetrics {
     pub recall: f64,
     /// Mean NDCG@N.
     pub ndcg: f64,
-    /// Number of users evaluated.
-    pub n_users: usize,
+    /// Number of users the means were taken over. `0` means *no* user had a
+    /// held-out item (degenerate split) — the means are then defined as 0.0
+    /// rather than NaN, and an `eval.empty` event is emitted so the condition
+    /// is visible in telemetry instead of silently poisoning report JSON.
+    pub evaluated_users: usize,
 }
 
 /// Per-user metric detail, used for paired significance tests.
@@ -36,16 +39,21 @@ pub struct PerUserMetrics {
 }
 
 impl PerUserMetrics {
-    /// Aggregates into means.
+    /// Aggregates into means. An empty population yields zeroed metrics with
+    /// `evaluated_users == 0` (never NaN) and reports itself via telemetry.
     pub fn aggregate(&self) -> RankingMetrics {
         let n = self.users.len();
         if n == 0 {
+            if imcat_obs::enabled() {
+                imcat_obs::counter_add("eval.empty", 1);
+                imcat_obs::emit("eval.empty", Vec::new());
+            }
             return RankingMetrics::default();
         }
         RankingMetrics {
             recall: self.recall.iter().sum::<f64>() / n as f64,
             ndcg: self.ndcg.iter().sum::<f64>() / n as f64,
-            n_users: n,
+            evaluated_users: n,
         }
     }
 }
@@ -88,24 +96,37 @@ pub fn evaluate_per_user(
         .filter(|&u| !held_out(data, target, u as usize).is_empty())
         .collect();
     let mut out = PerUserMetrics::default();
+    let pool = imcat_par::global();
     for chunk in users.chunks(256) {
         let scores = score_fn(chunk);
         assert_eq!(scores.rows(), chunk.len());
-        for (row, &u) in chunk.iter().enumerate() {
-            let train = data.train_items(u as usize);
-            let top = top_n_masked(scores.row(row), train, n);
-            let truth = held_out(data, target, u as usize);
-            let hits: Vec<usize> = top
-                .iter()
-                .enumerate()
-                .filter(|(_, j)| truth.contains(j))
-                .map(|(rank, _)| rank)
-                .collect();
-            let recall = hits.len() as f64 / truth.len() as f64;
-            let dcg: f64 = hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
-            let ideal: f64 = (0..truth.len().min(n)).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
-            let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
-            out.users.push(u);
+        // Scoring stays on the calling thread (`score_fn` is `FnMut`); the
+        // per-user ranking math fans out. Each user writes its own slot, so
+        // the result order — and every bit — is thread-count independent.
+        let mut per_user = vec![(0.0f64, 0.0f64); chunk.len()];
+        pool.parallel_chunks_mut(&mut per_user, 32, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let row = ci * 32 + off;
+                let u = chunk[row];
+                let train = data.train_items(u as usize);
+                let top = top_n_masked(scores.row(row), train, n);
+                let truth = held_out(data, target, u as usize);
+                let hits: Vec<usize> = top
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| truth.contains(j))
+                    .map(|(rank, _)| rank)
+                    .collect();
+                let recall = hits.len() as f64 / truth.len() as f64;
+                let dcg: f64 = hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
+                let ideal: f64 =
+                    (0..truth.len().min(n)).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+                let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
+                *slot = (recall, ndcg);
+            }
+        });
+        out.users.extend_from_slice(chunk);
+        for &(recall, ndcg) in &per_user {
             out.recall.push(recall);
             out.ndcg.push(ndcg);
         }
@@ -156,7 +177,36 @@ mod tests {
         let m = evaluate(&mut score_fn, &data, 5, EvalTarget::Test);
         assert!((m.recall - 1.0).abs() < 1e-9);
         assert!((m.ndcg - 1.0).abs() < 1e-9);
-        assert_eq!(m.n_users, 1);
+        assert_eq!(m.evaluated_users, 1);
+    }
+
+    /// Regression: aggregating an empty population (every user filtered out,
+    /// e.g. a degenerate cold-start split) must yield zeroed metrics with
+    /// `evaluated_users == 0`, never NaN.
+    #[test]
+    fn empty_population_aggregates_to_zero_not_nan() {
+        let empty = PerUserMetrics::default();
+        let m = empty.aggregate();
+        assert!(!m.recall.is_nan() && !m.ndcg.is_nan());
+        assert_eq!(m, RankingMetrics::default());
+        assert_eq!(m.evaluated_users, 0);
+
+        // End-to-end: a split where no user has a test item.
+        let ui = Csr::from_adjacency(2, 6, &[vec![0, 1], vec![2, 3]]);
+        let it = Csr::from_adjacency(6, 2, &(0..6).map(|i| vec![i % 2]).collect::<Vec<_>>());
+        let d = Dataset::new("no-test", ui, it);
+        let split = SplitDataset {
+            name: d.name.clone(),
+            train: d.user_item.clone(),
+            val: vec![Vec::new(); 2],
+            test: vec![Vec::new(); 2],
+            item_tag: d.item_tag.clone(),
+        };
+        let mut score_fn = |users: &[u32]| Tensor::zeros(users.len(), 6);
+        let m = evaluate(&mut score_fn, &split, 5, EvalTarget::Test);
+        assert_eq!(m.evaluated_users, 0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Property tests for the deterministic pool: exactly-once index coverage and
+//! bitwise serial/parallel equivalence across arbitrary shapes.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use imcat_par::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `parallel_for` over an arbitrary range must visit each index exactly
+    /// once, for any grain and pool size.
+    #[test]
+    fn parallel_for_visits_each_index_exactly_once(
+        start in 0usize..50,
+        len in 0usize..400,
+        grain in 1usize..33,
+        threads in 1usize..5,
+    ) {
+        let pool = Pool::new(threads);
+        let counts: Vec<AtomicU32> = (0..start + len).map(|_| AtomicU32::new(0)).collect();
+        pool.parallel_for(start..start + len, grain, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            let expected = u32::from(i >= start);
+            prop_assert_eq!(c.load(Ordering::Relaxed), expected, "index {} miscounted", i);
+        }
+    }
+
+    /// Chunked reductions merged in chunk order are bit-identical between a
+    /// serial pool and a parallel one.
+    #[test]
+    fn map_chunks_reduction_is_threadcount_invariant(
+        xs in proptest::collection::vec(-1.0f32..1.0, 1..600),
+        chunk in 1usize..64,
+    ) {
+        let reduce = |pool: &Pool| -> f32 {
+            pool.map_chunks(xs.len(), chunk, |_, r| xs[r].iter().sum::<f32>())
+                .into_iter()
+                .fold(0.0f32, |a, b| a + b)
+        };
+        let serial = reduce(&Pool::new(1));
+        let parallel = reduce(&Pool::new(4));
+        prop_assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    /// `parallel_chunks_mut` writes every element of the buffer exactly once
+    /// with its own chunk's data — no overlap, no gaps.
+    #[test]
+    fn chunked_mut_fanout_partitions_the_buffer(
+        len in 0usize..300,
+        chunk in 1usize..41,
+        threads in 1usize..5,
+    ) {
+        let pool = Pool::new(threads);
+        let mut data = vec![u32::MAX; len];
+        pool.parallel_chunks_mut(&mut data, chunk, |ci, slice| {
+            for (off, x) in slice.iter_mut().enumerate() {
+                *x = (ci * chunk + off) as u32;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            prop_assert_eq!(x, i as u32);
+        }
+    }
+}

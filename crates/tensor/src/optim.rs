@@ -4,10 +4,27 @@
 //! `1e-3` (§V-D). For embedding tables only a handful of rows receive gradient
 //! per step; the optimizer therefore walks [`ParamStore::drain_touched`] and
 //! pays cost proportional to the number of touched rows, not the table size.
-//! Bias correction uses the global step count, matching the sparse-Adam
-//! convention of mainstream frameworks.
+//!
+//! ## Staleness semantics
+//!
+//! A row that went untouched for `Δt` steps behaves as if it had received
+//! zero gradient on every skipped step: on its next update the stored moments
+//! are first decayed by `beta1^Δt` / `beta2^Δt` (tracked via a per-row
+//! last-update step), then the new gradient is folded in, and bias correction
+//! uses the *global* step count — exactly the moment estimates a dense Adam
+//! run would hold. Weight updates (including decoupled weight decay) are only
+//! applied at touched steps; that is the "lazy" part, and it is what keeps
+//! untouched rows bit-identical across steps. `lazy_matches_dense_oracle`
+//! below pins this contract against a dense simulation.
+//!
+//! ## Parallelism
+//!
+//! Parameters are disjoint work units, so the per-parameter drain loop fans
+//! out over the `imcat-par` pool. Telemetry partials are accumulated per
+//! parameter and merged in registration order, keeping the reported gradient
+//! norm (and every weight bit) independent of the thread count.
 
-use crate::store::{ParamId, ParamStore};
+use crate::store::{Param, ParamStore};
 use crate::tensor::Tensor;
 
 /// Hyper-parameters for [`Adam`].
@@ -37,7 +54,58 @@ pub struct Adam {
     cfg: AdamConfig,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    /// Per-parameter, per-row global step at which the row was last updated
+    /// (0 = never). Drives the `beta^Δt` decay of stale moments.
+    last_step: Vec<Vec<u64>>,
     t: u64,
+}
+
+/// One parameter's slice of optimizer state, drained independently of the
+/// others (possibly on a pool thread).
+struct ParamUnit<'a> {
+    p: &'a mut Param,
+    m: &'a mut Tensor,
+    v: &'a mut Tensor,
+    last: &'a mut [u64],
+    /// `(grad_sq_sum, nonfinite_count)` telemetry partial for this parameter.
+    stat: &'a mut (f64, u64),
+}
+
+fn apply_unit(cfg: AdamConfig, t: u64, telemetry: bool, u: &mut ParamUnit<'_>) {
+    let bc1 = 1.0 - cfg.beta1.powf(t as f32);
+    let bc2 = 1.0 - cfg.beta2.powf(t as f32);
+    let (m, v, last, stat) = (&mut *u.m, &mut *u.v, &mut *u.last, &mut *u.stat);
+    u.p.drain_touched_rows(|row, value, grad| {
+        if telemetry {
+            for &g in grad.iter() {
+                if g.is_finite() {
+                    stat.0 += (g as f64) * (g as f64);
+                } else {
+                    stat.1 += 1;
+                }
+            }
+        }
+        let dt = t - last[row as usize];
+        last[row as usize] = t;
+        // `dt == 1` (row touched every step) keeps the plain single-step
+        // decay; the `powf` path only runs for genuinely stale rows. A
+        // never-touched row has zero moments, so its decay is a no-op.
+        let (d1, d2) = if dt <= 1 {
+            (cfg.beta1, cfg.beta2)
+        } else {
+            (cfg.beta1.powf(dt as f32), cfg.beta2.powf(dt as f32))
+        };
+        let mr = m.row_mut(row as usize);
+        let vr = v.row_mut(row as usize);
+        for ((w, &g), (mi, vi)) in value.iter_mut().zip(grad).zip(mr.iter_mut().zip(vr.iter_mut()))
+        {
+            *mi = d1 * *mi + (1.0 - cfg.beta1) * g;
+            *vi = d2 * *vi + (1.0 - cfg.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *w -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * *w);
+        }
+    });
 }
 
 impl Adam {
@@ -45,12 +113,14 @@ impl Adam {
     pub fn new(cfg: AdamConfig, store: &ParamStore) -> Self {
         let mut m = Vec::with_capacity(store.len());
         let mut v = Vec::with_capacity(store.len());
+        let mut last_step = Vec::with_capacity(store.len());
         for (_, p) in store.iter() {
             let (r, c) = p.value().shape();
             m.push(Tensor::zeros(r, c));
             v.push(Tensor::zeros(r, c));
+            last_step.push(vec![0u64; r]);
         }
-        Self { cfg, m, v, t: 0 }
+        Self { cfg, m, v, last_step, t: 0 }
     }
 
     /// Current global step count.
@@ -73,43 +143,38 @@ impl Adam {
     pub fn step(&mut self, store: &mut ParamStore) {
         let sp = imcat_obs::span("phase.optimizer");
         let telemetry = sp.active();
-        // Gradient health is tracked here rather than per-model because every
-        // model funnels its updates through this one optimizer.
-        let mut grad_sq_sum = 0.0f64;
-        let mut nonfinite = 0u64;
         self.t += 1;
-        let t = self.t as f32;
+        let t = self.t;
         let cfg = self.cfg;
-        let bc1 = 1.0 - cfg.beta1.powf(t);
-        let bc2 = 1.0 - cfg.beta2.powf(t);
-        for idx in 0..self.m.len() {
-            let pid = ParamId(idx);
-            let m = &mut self.m[idx];
-            let v = &mut self.v[idx];
-            store.drain_touched(pid, |row, value, grad| {
-                if telemetry {
-                    for &g in grad.iter() {
-                        if g.is_finite() {
-                            grad_sq_sum += (g as f64) * (g as f64);
-                        } else {
-                            nonfinite += 1;
-                        }
-                    }
-                }
-                let mr = m.row_mut(row as usize);
-                let vr = v.row_mut(row as usize);
-                for ((w, &g), (mi, vi)) in
-                    value.iter_mut().zip(grad).zip(mr.iter_mut().zip(vr.iter_mut()))
-                {
-                    *mi = cfg.beta1 * *mi + (1.0 - cfg.beta1) * g;
-                    *vi = cfg.beta2 * *vi + (1.0 - cfg.beta2) * g * g;
-                    let m_hat = *mi / bc1;
-                    let v_hat = *vi / bc2;
-                    *w -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * *w);
+        let params = store.params_mut();
+        debug_assert_eq!(
+            params.len(),
+            self.m.len(),
+            "parameters registered after Adam::new are not supported"
+        );
+        // Gradient health is tracked here rather than per-model because every
+        // model funnels its updates through this one optimizer. Partials are
+        // per parameter and merged in registration order below, so the totals
+        // do not depend on scheduling.
+        let mut stats = vec![(0.0f64, 0u64); params.len()];
+        {
+            let mut units: Vec<ParamUnit<'_>> = params
+                .iter_mut()
+                .zip(self.m.iter_mut())
+                .zip(self.v.iter_mut())
+                .zip(self.last_step.iter_mut())
+                .zip(stats.iter_mut())
+                .map(|((((p, m), v), last), stat)| ParamUnit { p, m, v, last, stat })
+                .collect();
+            imcat_par::global().parallel_chunks_mut(&mut units, 1, |_, chunk| {
+                for u in chunk {
+                    apply_unit(cfg, t, telemetry, u);
                 }
             });
         }
         if telemetry {
+            let grad_sq_sum: f64 = stats.iter().map(|s| s.0).sum();
+            let nonfinite: u64 = stats.iter().map(|s| s.1).sum();
             imcat_obs::counter_add("op.optimizer.count", 1);
             imcat_obs::gauge_set("grad.norm", grad_sq_sum.sqrt());
             if nonfinite > 0 {
@@ -129,6 +194,7 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::ParamId;
     use crate::tape::Tape;
 
     /// Minimizing (w - 3)^2 should converge to w = 3.
@@ -185,5 +251,96 @@ mod tests {
         tape.backward(loss, &mut store);
         adam.step(&mut store);
         assert!(store.value(w).item() < 10.0);
+    }
+
+    /// Touches row `r` of `table` with gradient 1.0 on every element.
+    fn touch(store: &mut ParamStore, table: ParamId, r: u32) {
+        let mut tape = Tape::new();
+        let rows = tape.gather(store, table, &[r]);
+        let s = tape.sum_all(rows);
+        tape.backward(s, store);
+    }
+
+    /// Dense-Adam oracle on a sparse touch pattern: moments evolve every step
+    /// (zero gradient when untouched), weight updates only land at touched
+    /// steps. The lazy `beta^Δt` decay must reproduce this to fp accuracy.
+    #[test]
+    fn lazy_matches_dense_oracle() {
+        let cfg = AdamConfig { lr: 0.05, weight_decay: 0.0, ..AdamConfig::default() };
+        let touched_steps = [1u64, 10]; // stale for 9 steps between updates
+        let total_steps = 12u64;
+
+        // Lazy run: row 1 of a 2-row table updated only at `touched_steps`;
+        // row 0 touched every step so the global step count keeps advancing.
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Tensor::from_vec(2, 1, vec![0.5, 0.5]));
+        let mut adam = Adam::new(cfg, &store);
+        for step in 1..=total_steps {
+            touch(&mut store, table, 0);
+            if touched_steps.contains(&step) {
+                touch(&mut store, table, 1);
+            }
+            adam.step(&mut store);
+        }
+        let lazy_w = store.value(table).get(1, 0);
+
+        // Dense oracle for row 1: g = 1 at touched steps, 0 otherwise.
+        let (mut m, mut v, mut w) = (0.0f32, 0.0f32, 0.5f32);
+        for step in 1..=total_steps {
+            let g = if touched_steps.contains(&step) { 1.0f32 } else { 0.0 };
+            m = cfg.beta1 * m + (1.0 - cfg.beta1) * g;
+            v = cfg.beta2 * v + (1.0 - cfg.beta2) * g * g;
+            if g != 0.0 {
+                let m_hat = m / (1.0 - cfg.beta1.powf(step as f32));
+                let v_hat = v / (1.0 - cfg.beta2.powf(step as f32));
+                w -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+            }
+        }
+        assert!(
+            (lazy_w - w).abs() < 1e-6,
+            "lazy Adam diverged from dense oracle: lazy={lazy_w}, dense={w}"
+        );
+    }
+
+    /// Regression for the over-correction bug: a row whose second update
+    /// arrives after a long stale gap must not reuse its un-decayed stale
+    /// moments. With decay, the second update's direction is driven by the
+    /// fresh gradient; the old code's larger stale `m̂/√v̂` ratio produced a
+    /// visibly bigger step. Assert the decayed semantics exactly via Δt.
+    #[test]
+    fn stale_rows_decay_their_moments() {
+        let cfg = AdamConfig { lr: 0.1, weight_decay: 0.0, ..AdamConfig::default() };
+        let gap = 20u64;
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Tensor::from_vec(2, 1, vec![0.0, 0.0]));
+        let mut adam = Adam::new(cfg, &store);
+        // Step 1 touches both rows; steps 2..=gap touch only row 0.
+        touch(&mut store, table, 0);
+        touch(&mut store, table, 1);
+        adam.step(&mut store);
+        for _ in 1..gap {
+            touch(&mut store, table, 0);
+            adam.step(&mut store);
+        }
+        // Step gap+1 touches row 1 again.
+        let before = store.value(table).get(1, 0);
+        touch(&mut store, table, 0);
+        touch(&mut store, table, 1);
+        adam.step(&mut store);
+        let applied = before - store.value(table).get(1, 0);
+
+        // Expected update from first principles.
+        let t = (gap + 1) as f32;
+        let m1 = (1.0 - cfg.beta1) * 1.0f32; // after step 1
+        let v1 = (1.0 - cfg.beta2) * 1.0f32;
+        let m = cfg.beta1.powf(gap as f32) * m1 + (1.0 - cfg.beta1);
+        let v = cfg.beta2.powf(gap as f32) * v1 + (1.0 - cfg.beta2);
+        let m_hat = m / (1.0 - cfg.beta1.powf(t));
+        let v_hat = v / (1.0 - cfg.beta2.powf(t));
+        let expected = cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+        assert!(
+            (applied - expected).abs() < 1e-6,
+            "stale-row update {applied} != decayed expectation {expected}"
+        );
     }
 }

@@ -226,8 +226,12 @@ impl Csr {
         let n = x.cols();
         let _sp = crate::obs_spmm(self.nnz(), n);
         let mut out = Tensor::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let o_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+        if n == 0 {
+            return out;
+        }
+        // Output rows depend on disjoint CSR rows, so the row-blocked fan-out
+        // is bit-identical to a serial row loop for any thread count.
+        let body = |r: usize, o_row: &mut [f32]| {
             for (k, &c) in self.row_indices(r).iter().enumerate() {
                 let v = self.row_values(r)[k];
                 let x_row = x.row(c as usize);
@@ -235,7 +239,8 @@ impl Csr {
                     *o += v * xv;
                 }
             }
-        }
+        };
+        crate::tensor::run_row_blocked(self.rows, n, self.nnz() * n, out.as_mut_slice(), &body);
         out
     }
 

@@ -42,6 +42,22 @@ impl Param {
     pub fn touched_rows(&self) -> &[u32] {
         &self.touched_list
     }
+
+    /// Visits `(row, value_row, grad_row)` for each touched row, then clears
+    /// the touched set and zeroes visited gradient rows. Parameter-local so
+    /// the optimizer can drain disjoint `&mut Param`s from several threads.
+    pub(crate) fn drain_touched_rows(&mut self, mut f: impl FnMut(u32, &mut [f32], &[f32])) {
+        let cols = self.grad.cols();
+        for &r in &self.touched_list {
+            let base = r as usize * cols;
+            // Split borrows: value and grad live in different tensors.
+            let grad_row: Vec<f32> = self.grad.as_slice()[base..base + cols].to_vec();
+            f(r, self.value.row_mut(r as usize), &grad_row);
+            self.grad.as_mut_slice()[base..base + cols].iter_mut().for_each(|x| *x = 0.0);
+            self.touched[r as usize] = false;
+        }
+        self.touched_list.clear();
+    }
 }
 
 /// Collection of all trainable parameters of a model.
@@ -136,18 +152,15 @@ impl ParamStore {
     /// clears the touched set and zeroes visited gradient rows.
     ///
     /// This is the single pass the optimizer makes per step.
-    pub fn drain_touched(&mut self, id: ParamId, mut f: impl FnMut(u32, &mut [f32], &[f32])) {
-        let p = &mut self.params[id.0];
-        let cols = p.grad.cols();
-        for &r in &p.touched_list {
-            let base = r as usize * cols;
-            // Split borrows: value and grad live in different tensors.
-            let grad_row: Vec<f32> = p.grad.as_slice()[base..base + cols].to_vec();
-            f(r, p.value.row_mut(r as usize), &grad_row);
-            p.grad.as_mut_slice()[base..base + cols].iter_mut().for_each(|x| *x = 0.0);
-            p.touched[r as usize] = false;
-        }
-        p.touched_list.clear();
+    pub fn drain_touched(&mut self, id: ParamId, f: impl FnMut(u32, &mut [f32], &[f32])) {
+        self.params[id.0].drain_touched_rows(f);
+    }
+
+    /// Mutable access to every parameter record, in registration order. Used
+    /// by the optimizer to split the store into disjoint per-parameter work
+    /// units for the thread pool.
+    pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
     }
 
     /// Clears every gradient and touched flag (used between evaluation passes).

@@ -8,6 +8,44 @@
 
 use std::fmt;
 
+/// Minimum multiply-add count before a dense kernel pays for a pool dispatch;
+/// below this the dispatch overhead exceeds the kernel itself.
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Runs `body(row, out_row)` for every output row, fanning row blocks out
+/// over the global pool when the kernel is large enough.
+///
+/// Determinism: rows are computed independently and written to disjoint
+/// slices, and `body` is exactly the serial per-row computation, so the
+/// result is bit-identical to a serial row loop for any thread count
+/// (including the serial fallback taken for small kernels).
+pub(crate) fn run_row_blocked(
+    m: usize,
+    n: usize,
+    flops: usize,
+    out: &mut [f32],
+    body: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m > 1 && flops >= PAR_MIN_FLOPS && imcat_par::parallelism_available() {
+        let pool = imcat_par::global();
+        // Four blocks per thread keeps stragglers short without shrinking
+        // blocks below useful sizes. Block boundaries only affect scheduling,
+        // never arithmetic order, so this may depend on the thread count.
+        let rows_per = m.div_ceil(pool.threads() * 4).max(1);
+        pool.parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+            let row0 = ci * rows_per;
+            for (off, o_row) in chunk.chunks_mut(n).enumerate() {
+                body(row0 + off, o_row);
+            }
+        });
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            body(i, o_row);
+        }
+    }
+}
+
 /// A dense, row-major `rows x cols` matrix of `f32`.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
@@ -207,20 +245,27 @@ impl Tensor {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
+        if n == 0 || k == 0 {
+            return out;
+        }
         // ikj loop order: streams through `other` and `out` rows contiguously.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
+        // Output rows are independent, so the row-blocked parallel fan-out
+        // below is bit-identical to this serial loop for any thread count.
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let body = |i: usize, o_row: &mut [f32]| {
+            let a_row = &a_data[i * k..(i + 1) * k];
             for (p, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = &other.data[p * n..(p + 1) * n];
+                let b_row = &b_data[p * n..(p + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
-        }
+        };
+        run_row_blocked(m, n, m * k * n, &mut out.data, &body);
         out
     }
 
@@ -237,18 +282,23 @@ impl Tensor {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
+        if n == 0 || k == 0 {
+            return out;
+        }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let body = |i: usize, o_row: &mut [f32]| {
+            let a_row = &a_data[i * k..(i + 1) * k];
             for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
+                let b_row = &b_data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
                 *o = acc;
             }
-        }
+        };
+        run_row_blocked(m, n, m * k * n, &mut out.data, &body);
         out
     }
 
@@ -265,16 +315,43 @@ impl Tensor {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let _sp = crate::obs_matmul(m, k, n);
         let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if n == 0 || k == 0 {
+            return out;
+        }
+        if m > 1 && m * k * n >= PAR_MIN_FLOPS && imcat_par::parallelism_available() {
+            // Row-blocked variant: each output row accumulates over ascending
+            // `p` with the same `a == 0` skip as the serial loop below, so the
+            // per-element operation sequence — and therefore every bit of the
+            // result — is identical.
+            let a_data = &self.data;
+            let b_data = &other.data;
+            let body = |i: usize, o_row: &mut [f32]| {
+                for p in 0..k {
+                    let a = a_data[p * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            };
+            run_row_blocked(m, n, m * k * n, &mut out.data, &body);
+        } else {
+            // Serial pki order streams through `self` and `other` rows
+            // contiguously (better locality than the row-blocked variant).
+            for p in 0..k {
+                let a_row = &self.data[p * m..(p + 1) * m];
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out.data[i * n..(i + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }

@@ -40,7 +40,7 @@ fn main() {
     let test = evaluate(&mut score_fn, &split, 20, EvalTarget::Test);
     println!(
         "test Recall@20 = {:.4}, NDCG@20 = {:.4} over {} users",
-        test.recall, test.ndcg, test.n_users
+        test.recall, test.ndcg, test.evaluated_users
     );
 
     // 5. Produce top-5 recommendations for one user.

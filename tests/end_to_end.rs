@@ -31,7 +31,7 @@ fn full_pipeline_l_imcat() {
     let m = evaluate(&mut score_fn, &split, 20, EvalTarget::Test);
     assert!(m.recall > 0.1);
     assert!(m.ndcg > 0.0);
-    assert_eq!(m.n_users, split.test_users().len());
+    assert_eq!(m.evaluated_users, split.test_users().len());
 }
 
 #[test]
@@ -114,7 +114,7 @@ fn group_and_cold_analyses_compose() {
     assert!((sum - overall.recall).abs() < 1e-9);
     let cold = cold_start_users(&split, 10);
     let cold_m = evaluate_user_subset(&mut score_fn, &split, 20, &cold).aggregate();
-    assert!(cold_m.n_users == cold.len());
+    assert!(cold_m.evaluated_users == cold.len());
 }
 
 #[test]
