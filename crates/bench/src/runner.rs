@@ -1,9 +1,10 @@
 //! Experiment runner: datasets, training, measurement, JSON reporting, and
 //! telemetry wiring (per-run phase breakdowns via `imcat-obs`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use imcat_ckpt::{Checkpoint, Decoder, Encoder};
 use imcat_core::{ImcatConfig, TrainerConfig};
 use imcat_data::{generate, SplitDataset, SynthConfig};
 use imcat_eval::{evaluate_per_user, EvalTarget, PerUserMetrics};
@@ -95,6 +96,13 @@ macro_rules! logln {
 /// * `IMCAT_TRIALS`  — trials per cell with different initializations
 ///   (paper: 5; default 1 for quick runs).
 /// * `IMCAT_DIM`     — embedding dimension (default 32; paper uses 64).
+/// * `IMCAT_CKPT_DIR`   — enable crash-safe trial resume: each trial
+///   checkpoints its trainer state under
+///   `<dir>/<model>_<dataset>_<seed>/` and caches its finished result
+///   there, so a restarted experiment binary skips completed trials and
+///   resumes the interrupted one mid-training.
+/// * `IMCAT_CKPT_EVERY` — epochs between trainer checkpoints (default 10;
+///   only meaningful with `IMCAT_CKPT_DIR`).
 #[derive(Clone, Debug)]
 pub struct Env {
     /// Dataset scale multiplier.
@@ -108,11 +116,23 @@ pub struct Env {
     /// Split / generation seed (fixed per the paper: same partition across
     /// trials).
     pub data_seed: u64,
+    /// Root directory for per-trial checkpoints; `None` disables resume.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Epochs between trainer checkpoints.
+    pub ckpt_every: usize,
 }
 
 impl Default for Env {
     fn default() -> Self {
-        Self { scale: 1.0, max_epochs: 60, trials: 1, dim: 32, data_seed: 2023 }
+        Self {
+            scale: 1.0,
+            max_epochs: 60,
+            trials: 1,
+            dim: 32,
+            data_seed: 2023,
+            ckpt_dir: None,
+            ckpt_every: 10,
+        }
     }
 }
 
@@ -132,7 +152,24 @@ impl Env {
         if let Ok(v) = std::env::var("IMCAT_DIM") {
             e.dim = v.parse().expect("IMCAT_DIM must be an integer");
         }
+        if let Some(v) = std::env::var_os("IMCAT_CKPT_DIR") {
+            e.ckpt_dir = Some(PathBuf::from(v));
+        }
+        if let Ok(v) = std::env::var("IMCAT_CKPT_EVERY") {
+            e.ckpt_every = v.parse().expect("IMCAT_CKPT_EVERY must be an integer");
+        }
         e
+    }
+
+    /// Per-trial checkpoint directory `<ckpt_dir>/<model>_<dataset>_<seed>`,
+    /// when trial resume is enabled.
+    pub fn trial_dir(&self, model: &str, dataset: &str, seed: u64) -> Option<PathBuf> {
+        let sanitize = |s: &str| -> String {
+            s.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+        };
+        self.ckpt_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}_{}_{seed}", sanitize(model), sanitize(dataset))))
     }
 
     /// Training hyper-parameters (paper §V-D values, scaled dim).
@@ -146,6 +183,7 @@ impl Env {
     }
 
     /// Trainer settings (scaled-down version of 3000 epochs / patience 100).
+    /// Checkpointing is wired up per trial by [`run_one`], not here.
     pub fn trainer_config(&self, seed: u64) -> TrainerConfig {
         TrainerConfig {
             max_epochs: self.max_epochs,
@@ -153,6 +191,7 @@ impl Env {
             eval_every: 10,
             eval_at: 20,
             seed,
+            ..TrainerConfig::default()
         }
     }
 
@@ -205,7 +244,66 @@ pub struct RunResult {
 
 imcat_obs::impl_to_json!(RunResult { model, dataset, seed, recall, ndcg, train_seconds, epochs });
 
-/// Trains `kind` on `data` and evaluates test Recall/NDCG@20.
+/// Caches a finished trial's result (and per-user detail) next to the
+/// trial's trainer checkpoint, so a restarted experiment binary can skip it.
+fn save_trial_result(
+    path: &Path,
+    result: &RunResult,
+    per_user: &PerUserMetrics,
+) -> std::io::Result<u64> {
+    let mut enc = Encoder::new();
+    enc.put_str(&result.model);
+    enc.put_str(&result.dataset);
+    enc.put_u64(result.seed);
+    enc.put_f64(result.recall);
+    enc.put_f64(result.ndcg);
+    enc.put_f64(result.train_seconds);
+    enc.put_u64(result.epochs as u64);
+    enc.put_u32s(&per_user.users);
+    enc.put_f64s(&per_user.recall);
+    enc.put_f64s(&per_user.ndcg);
+    let mut ck = Checkpoint::new();
+    ck.insert("result", enc.into_bytes());
+    ck.save(path)
+}
+
+/// Loads a cached trial result, verifying it belongs to exactly this
+/// `(model, dataset, seed)` cell. Any mismatch or corruption simply means
+/// "no cache" — the trial reruns.
+fn load_trial_result(
+    path: &Path,
+    model: &str,
+    dataset: &str,
+    seed: u64,
+) -> Option<(RunResult, PerUserMetrics)> {
+    let ck = Checkpoint::load(path).ok()?;
+    let mut dec = Decoder::new(ck.get("result")?);
+    let decoded = (|| -> std::io::Result<(RunResult, PerUserMetrics)> {
+        let result = RunResult {
+            model: dec.str()?.to_string(),
+            dataset: dec.str()?.to_string(),
+            seed: dec.u64()?,
+            recall: dec.f64()?,
+            ndcg: dec.f64()?,
+            train_seconds: dec.f64()?,
+            epochs: dec.u64()? as usize,
+        };
+        let per_user =
+            PerUserMetrics { users: dec.u32s()?, recall: dec.f64s()?, ndcg: dec.f64s()? };
+        Ok((result, per_user))
+    })()
+    .ok()?;
+    let (result, _) = &decoded;
+    if result.model != model || result.dataset != dataset || result.seed != seed {
+        return None;
+    }
+    Some(decoded)
+}
+
+/// Trains `kind` on `data` and evaluates test Recall/NDCG@20. With
+/// `IMCAT_CKPT_DIR` set, the trial checkpoints its trainer state every
+/// `IMCAT_CKPT_EVERY` epochs, resumes mid-training after a kill, and skips
+/// entirely once its cached result exists.
 pub fn run_one(
     kind: ModelKind,
     data: &SplitDataset,
@@ -213,10 +311,33 @@ pub fn run_one(
     icfg: &ImcatConfig,
     seed: u64,
 ) -> (RunResult, PerUserMetrics) {
+    let trial_dir = env.trial_dir(kind.name(), &data.name, seed);
+    let result_path = trial_dir.as_ref().map(|d| d.join("result.ckpt"));
+    if let Some(path) = &result_path {
+        if let Some(cached) = load_trial_result(path, kind.name(), &data.name, seed) {
+            if imcat_obs::enabled() {
+                imcat_obs::counter_add("bench.trial_skips", 1);
+                imcat_obs::emit(
+                    "trial_skip",
+                    vec![
+                        ("model", Json::Str(kind.name().to_string())),
+                        ("dataset", Json::Str(data.name.clone())),
+                        ("seed", Json::Num(seed as f64)),
+                    ],
+                );
+            }
+            return cached;
+        }
+    }
     let tcfg = env.train_config();
     let mut model = kind.build(data, &tcfg, icfg, seed);
     let snap0 = imcat_obs::snapshot();
-    let report = imcat_core::train(model.as_mut(), data, &env.trainer_config(seed));
+    let mut trainer_cfg = env.trainer_config(seed);
+    if let Some(dir) = &trial_dir {
+        trainer_cfg.checkpoint_dir = Some(dir.clone());
+        trainer_cfg.checkpoint_every = env.ckpt_every;
+    }
+    let report = imcat_core::train(model.as_mut(), data, &trainer_cfg);
     let t0 = Instant::now();
     let mut score_fn = |users: &[u32]| model.score_users(users);
     let per_user = evaluate_per_user(&mut score_fn, data, 20, EvalTarget::Test);
@@ -245,18 +366,21 @@ pub fn run_one(
         imcat_obs::emit("run_phase_breakdown", fields);
     }
     let agg = per_user.aggregate();
-    (
-        RunResult {
-            model: kind.name().to_string(),
-            dataset: data.name.clone(),
-            seed,
-            recall: agg.recall,
-            ndcg: agg.ndcg,
-            train_seconds: report.train_seconds,
-            epochs: report.epochs_run,
-        },
-        per_user,
-    )
+    let result = RunResult {
+        model: kind.name().to_string(),
+        dataset: data.name.clone(),
+        seed,
+        recall: agg.recall,
+        ndcg: agg.ndcg,
+        train_seconds: report.train_seconds,
+        epochs: report.epochs_run,
+    };
+    if let Some(path) = &result_path {
+        if let Err(e) = save_trial_result(path, &result, &per_user) {
+            eprintln!("warning: could not cache trial result to {}: {e}", path.display());
+        }
+    }
+    (result, per_user)
 }
 
 /// Maps `f` over `items`, fanning the calls out over the `imcat-par` pool
@@ -355,5 +479,47 @@ mod tests {
         let path = write_json("unit_test_report", &vec![1, 2, 3]);
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.contains('2'));
+    }
+
+    #[test]
+    fn trial_result_cache_roundtrip_and_mismatch() {
+        let dir = std::env::temp_dir().join("imcat_trial_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("result.ckpt");
+        let result = RunResult {
+            model: "BPRMF".into(),
+            dataset: "tiny".into(),
+            seed: 42,
+            recall: 0.125,
+            ndcg: 0.0625,
+            train_seconds: 1.5,
+            epochs: 7,
+        };
+        let per_user = PerUserMetrics {
+            users: vec![0, 3, 9],
+            recall: vec![0.1, 0.2, 0.3],
+            ndcg: vec![0.05, 0.1, 0.15],
+        };
+        save_trial_result(&path, &result, &per_user).unwrap();
+        let (r2, p2) = load_trial_result(&path, "BPRMF", "tiny", 42).expect("cache hit");
+        assert_eq!(r2.recall.to_bits(), result.recall.to_bits());
+        assert_eq!(r2.epochs, result.epochs);
+        assert_eq!(p2.users, per_user.users);
+        assert_eq!(p2.ndcg, per_user.ndcg);
+        // A different cell must not reuse the cache, nor a corrupted file.
+        assert!(load_trial_result(&path, "NeuMF", "tiny", 42).is_none());
+        assert!(load_trial_result(&path, "BPRMF", "tiny", 43).is_none());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let _ = std::fs::remove_file(dir.join("result.ckpt.prev"));
+        assert!(load_trial_result(&path, "BPRMF", "tiny", 42).is_none());
+    }
+
+    #[test]
+    fn trial_dir_sanitizes_names() {
+        let env = Env { ckpt_dir: Some(PathBuf::from("/tmp/x")), ..Env::default() };
+        let dir = env.trial_dir("B-IMCAT", "HetRec/MV (s=1)", 1000).unwrap();
+        assert_eq!(dir, PathBuf::from("/tmp/x/B-IMCAT_HetRec_MV__s_1__1000"));
+        assert!(Env::default().trial_dir("a", "b", 0).is_none());
     }
 }

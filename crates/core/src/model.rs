@@ -215,6 +215,15 @@ impl<B: Backbone> Imcat<B> {
             self.cfg.eta,
         );
         let assignment = hard_assignment(&q);
+        self.rebuild_derived(assignment);
+        self.steps_since_refresh = 0;
+    }
+
+    /// Rebuilds every cluster-derived structure (aggregators, relatedness,
+    /// ISA similar sets) from a given hard assignment. All of it is a
+    /// deterministic, RNG-free function of `(assignment, item_tag, cfg)`, so
+    /// a checkpoint only needs to persist the assignment itself.
+    fn rebuild_derived(&mut self, assignment: Vec<usize>) {
         let aggs = (0..self.cfg.k_intents)
             .map(|k| {
                 let a = cluster_tag_aggregator(self.item_tag.forward(), &assignment, k);
@@ -234,7 +243,6 @@ impl<B: Backbone> Imcat<B> {
             None
         };
         self.state = Some(ClusterState { assignment, aggs, m, similar });
-        self.steps_since_refresh = 0;
     }
 
     fn next_item_batch(&mut self, rng: &mut StdRng) -> Vec<u32> {
@@ -524,6 +532,87 @@ impl<B: Backbone> RecModel for Imcat<B> {
 
     fn num_params(&self) -> usize {
         self.backbone.num_params()
+    }
+
+    /// Serializes the full mutable training state: every parameter plus the
+    /// Adam state (via the backbone's store), the epoch / refresh counters,
+    /// the current hard cluster assignment, and the pending item-batch queue.
+    /// The cluster-derived structures (aggregators, relatedness matrix, ISA
+    /// sets) are rebuilt on load from the saved assignment — recomputing the
+    /// assignment itself from the restored embeddings would *not* be
+    /// equivalent, because refreshes happen mid-epoch against older
+    /// embeddings.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut enc = imcat_ckpt::Encoder::new();
+        enc.put_u64(self.epoch as u64);
+        enc.put_u64(self.steps_since_refresh as u64);
+        enc.put_u64(self.refresh_count);
+        enc.put_bytes(&imcat_ckpt::encode_backbone_state(
+            self.backbone.store(),
+            self.backbone.optimizer(),
+        ));
+        match &self.state {
+            Some(s) => {
+                enc.put_u32(1);
+                let assignment: Vec<u64> = s.assignment.iter().map(|&a| a as u64).collect();
+                enc.put_u64s(&assignment);
+            }
+            None => enc.put_u32(0),
+        }
+        enc.put_u32(self.pending_item_batches.len() as u32);
+        for batch in &self.pending_item_batches {
+            enc.put_u32s(batch);
+        }
+        Some(enc.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let mut dec = imcat_ckpt::Decoder::new(bytes);
+        let epoch = dec.u64()? as usize;
+        let steps_since_refresh = dec.u64()? as usize;
+        let refresh_count = dec.u64()?;
+        let backbone_bytes = dec.bytes()?;
+        let assignment = if dec.u32()? == 1 {
+            Some(dec.u64s()?.into_iter().map(|a| a as usize).collect::<Vec<_>>())
+        } else {
+            None
+        };
+        let n_batches = dec.u32()? as usize;
+        let mut pending = Vec::with_capacity(n_batches);
+        for _ in 0..n_batches {
+            pending.push(dec.u32s()?);
+        }
+        dec.finish()?;
+        // Validate everything against this model's configuration before any
+        // mutation, so a mismatched checkpoint leaves the model untouched.
+        if let Some(a) = &assignment {
+            let n_tags = self.backbone.store().value(self.tag_emb).shape().0;
+            if a.len() != n_tags {
+                return Err(invalid(format!(
+                    "checkpoint assignment covers {} tags, model has {n_tags}",
+                    a.len()
+                )));
+            }
+            if let Some(&k) = a.iter().find(|&&k| k >= self.cfg.k_intents) {
+                return Err(invalid(format!(
+                    "checkpoint assignment uses intent {k}, model has {}",
+                    self.cfg.k_intents
+                )));
+            }
+        }
+        let (store, adam) = self.backbone.store_and_optimizer_mut();
+        imcat_ckpt::restore_backbone_state(store, adam, backbone_bytes)?;
+        self.epoch = epoch;
+        self.refresh_count = refresh_count;
+        match assignment {
+            Some(a) => self.rebuild_derived(a),
+            None => self.state = None,
+        }
+        // After rebuild_derived, which does not touch the step counter.
+        self.steps_since_refresh = steps_since_refresh;
+        self.pending_item_batches = pending;
+        Ok(())
     }
 }
 

@@ -1,11 +1,28 @@
 //! Generic training loop with validation-based early stopping (paper §V-D:
 //! up to 3000 epochs, stop when validation Recall@20 has not improved for
-//! 100 epochs; both scaled down by default for CPU runs) and wall-clock
-//! accounting for the efficiency analysis of Fig. 9.
+//! 100 epochs; both scaled down by default for CPU runs), wall-clock
+//! accounting for the efficiency analysis of Fig. 9, and crash-safe
+//! checkpoint/resume.
+//!
+//! ## Checkpointing
+//!
+//! With [`TrainerConfig::checkpoint_dir`] set and
+//! [`TrainerConfig::checkpoint_every`] > 0, the trainer atomically writes
+//! `trainer.ckpt` into the directory at every N-th epoch boundary, capturing
+//! the *entire* run state: the model's parameters and optimizer moments (via
+//! [`RecModel::save_state`]), the exact RNG stream position, the
+//! early-stopping bookkeeping, and the epoch counter. [`train`] resumes
+//! automatically when a matching checkpoint exists; because the RNG stream
+//! position is restored exactly (not reseeded), a resumed run is bit-for-bit
+//! identical to an uninterrupted one at any `IMCAT_THREADS` setting. Models
+//! that do not implement [`RecModel::save_state`] train normally with a
+//! `checkpoint_skip` telemetry event.
 
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use imcat_ckpt::{Checkpoint, Decoder, Encoder};
 use imcat_data::SplitDataset;
 use imcat_models::RecModel;
 use rand::rngs::StdRng;
@@ -24,11 +41,33 @@ pub struct TrainerConfig {
     pub eval_at: usize,
     /// RNG seed for sampling during training.
     pub seed: u64,
+    /// Write a checkpoint every this many epochs (0 disables checkpointing).
+    pub checkpoint_every: usize,
+    /// Directory for `trainer.ckpt`; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for TrainerConfig {
     fn default() -> Self {
-        Self { max_epochs: 120, patience: 5, eval_every: 5, eval_at: 20, seed: 7 }
+        Self {
+            max_epochs: 120,
+            patience: 5,
+            eval_every: 5,
+            eval_at: 20,
+            seed: 7,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// The checkpoint file path, when checkpointing is enabled.
+    pub fn checkpoint_path(&self) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        self.checkpoint_dir.as_ref().map(|d| d.join("trainer.ckpt"))
     }
 }
 
@@ -43,10 +82,13 @@ pub struct TrainReport {
     pub best_val_recall: f64,
     /// Mean training loss of the final epoch.
     pub final_loss: f32,
-    /// Total wall-clock training time in seconds (excludes evaluation).
+    /// Total wall-clock training time in seconds (excludes evaluation;
+    /// accumulates across resumed segments).
     pub train_seconds: f64,
     /// Validation recall trajectory `(epoch, recall)`.
     pub curve: Vec<(usize, f64)>,
+    /// When the run resumed from a checkpoint, the epoch it resumed after.
+    pub resumed_from: Option<usize>,
 }
 
 /// Validation Recall@N (training items masked), shared by the trainer and the
@@ -108,9 +150,110 @@ pub fn validation_recall(model: &dyn RecModel, data: &SplitDataset, n: usize) ->
     total / users.len() as f64
 }
 
+/// Mutable loop state captured into (and restored from) a checkpoint.
+struct LoopState {
+    epoch: usize,
+    best: f64,
+    since_best: usize,
+    final_loss: f32,
+    train_seconds: f64,
+    curve: Vec<(usize, f64)>,
+}
+
+fn encode_trainer_section(s: &LoopState) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(s.epoch as u64);
+    enc.put_f64(s.best);
+    enc.put_u64(s.since_best as u64);
+    enc.put_f32(s.final_loss);
+    enc.put_f64(s.train_seconds);
+    enc.put_u32(s.curve.len() as u32);
+    for &(e, r) in &s.curve {
+        enc.put_u64(e as u64);
+        enc.put_f64(r);
+    }
+    enc.into_bytes()
+}
+
+fn decode_trainer_section(bytes: &[u8]) -> std::io::Result<LoopState> {
+    let mut dec = Decoder::new(bytes);
+    let epoch = dec.u64()? as usize;
+    let best = dec.f64()?;
+    let since_best = dec.u64()? as usize;
+    let final_loss = dec.f32()?;
+    let train_seconds = dec.f64()?;
+    let n = dec.u32()? as usize;
+    let mut curve = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = dec.u64()? as usize;
+        let r = dec.f64()?;
+        curve.push((e, r));
+    }
+    dec.finish()?;
+    Ok(LoopState { epoch, best, since_best, final_loss, train_seconds, curve })
+}
+
+fn save_checkpoint(
+    path: &Path,
+    model_name: &str,
+    seed: u64,
+    state: &LoopState,
+    rng: &StdRng,
+    model_bytes: Vec<u8>,
+) -> std::io::Result<u64> {
+    let mut ck = Checkpoint::new();
+    let mut meta = Encoder::new();
+    meta.put_str(model_name);
+    meta.put_u64(seed);
+    ck.insert("meta", meta.into_bytes());
+    ck.insert("trainer", encode_trainer_section(state));
+    let mut rs = Encoder::new();
+    rs.put_u64s(&rng.state());
+    ck.insert("rng", rs.into_bytes());
+    ck.insert("model", model_bytes);
+    ck.save(path)
+}
+
+/// Validates and applies a checkpoint; on any error the model and the
+/// returned state are untouched (everything is decoded before mutation).
+fn resume_from_checkpoint(
+    ck: &Checkpoint,
+    model: &mut dyn RecModel,
+    cfg: &TrainerConfig,
+) -> std::io::Result<(LoopState, StdRng)> {
+    let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let mut meta = Decoder::new(ck.require("meta")?);
+    let name = meta.str()?;
+    if name != model.name() {
+        return Err(invalid(format!("checkpoint is for model '{name}', not '{}'", model.name())));
+    }
+    let seed = meta.u64()?;
+    if seed != cfg.seed {
+        return Err(invalid(format!("checkpoint used seed {seed}, this run uses {}", cfg.seed)));
+    }
+    meta.finish()?;
+    let state = decode_trainer_section(ck.require("trainer")?)?;
+    let mut rng_dec = Decoder::new(ck.require("rng")?);
+    let rng_words = rng_dec.u64s()?;
+    rng_dec.finish()?;
+    let rng_state: [u64; 4] =
+        rng_words.as_slice().try_into().map_err(|_| invalid("rng state is not 4 words".into()))?;
+    if rng_state == [0; 4] {
+        return Err(invalid("rng state is degenerate (all zero)".into()));
+    }
+    model.load_state(ck.require("model")?)?;
+    Ok((state, StdRng::from_state(rng_state)))
+}
+
 /// Trains `model` until early stopping or `max_epochs`, reporting the best
-/// validation recall and wall-clock time.
+/// validation recall and wall-clock time. When checkpointing is configured
+/// (see [`TrainerConfig::checkpoint_path`]) and a compatible checkpoint
+/// exists, the run resumes from it and reproduces the uninterrupted run
+/// bit-for-bit; an incompatible or corrupted checkpoint falls back to a
+/// fresh start with a warning.
 pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig) -> TrainReport {
+    let telemetry = imcat_obs::enabled();
+    let ckpt_path = cfg.checkpoint_path();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut best = f64::MIN;
     let mut since_best = 0usize;
@@ -118,8 +261,50 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
     let mut final_loss = 0.0;
     let mut curve = Vec::new();
     let mut epochs_run = 0;
-    let telemetry = imcat_obs::enabled();
-    for epoch in 1..=cfg.max_epochs {
+    let mut start_epoch = 1usize;
+    let mut resumed_from = None;
+    if let Some(path) = &ckpt_path {
+        match Checkpoint::load(path) {
+            Ok(ck) => match resume_from_checkpoint(&ck, model, cfg) {
+                Ok((state, restored_rng)) => {
+                    rng = restored_rng;
+                    best = state.best;
+                    since_best = state.since_best;
+                    train_seconds = state.train_seconds;
+                    final_loss = state.final_loss;
+                    curve = state.curve;
+                    epochs_run = state.epoch;
+                    start_epoch = state.epoch + 1;
+                    resumed_from = Some(state.epoch);
+                    if telemetry {
+                        imcat_obs::counter_add("ckpt.resumes", 1);
+                        imcat_obs::emit(
+                            "resume",
+                            vec![
+                                ("model", imcat_obs::Json::Str(model.name())),
+                                ("from_epoch", imcat_obs::Json::Num(state.epoch as f64)),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("trainer: ignoring incompatible checkpoint {}: {e}", path.display());
+                    if telemetry {
+                        imcat_obs::emit(
+                            "checkpoint_mismatch",
+                            vec![("error", imcat_obs::Json::Str(e.to_string()))],
+                        );
+                    }
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!("trainer: ignoring unreadable checkpoint {}: {e}", path.display());
+            }
+        }
+    }
+    let mut skip_emitted = false;
+    for epoch in start_epoch..=cfg.max_epochs {
         let t0 = Instant::now();
         let stats = model.train_epoch(&mut rng);
         let epoch_seconds = t0.elapsed().as_secs_f64();
@@ -173,6 +358,60 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
                 }
             }
         }
+        if let Some(path) = &ckpt_path {
+            if epoch % cfg.checkpoint_every == 0 {
+                match model.save_state() {
+                    Some(model_bytes) => {
+                        let state = LoopState {
+                            epoch,
+                            best,
+                            since_best,
+                            final_loss,
+                            train_seconds,
+                            curve: curve.clone(),
+                        };
+                        match save_checkpoint(
+                            path,
+                            &model.name(),
+                            cfg.seed,
+                            &state,
+                            &rng,
+                            model_bytes,
+                        ) {
+                            Ok(bytes) => {
+                                if telemetry {
+                                    imcat_obs::emit(
+                                        "checkpoint",
+                                        vec![
+                                            ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                                            ("bytes", imcat_obs::Json::Num(bytes as f64)),
+                                        ],
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "trainer: checkpoint save to {} failed: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                    None => {
+                        if !skip_emitted {
+                            skip_emitted = true;
+                            if telemetry {
+                                imcat_obs::counter_add("ckpt.skips", 1);
+                                imcat_obs::emit(
+                                    "checkpoint_skip",
+                                    vec![("model", imcat_obs::Json::Str(model.name()))],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     TrainReport {
         model: model.name(),
@@ -181,6 +420,7 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
         final_loss,
         train_seconds,
         curve,
+        resumed_from,
     }
 }
 

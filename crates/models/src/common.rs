@@ -64,6 +64,24 @@ pub trait RecModel {
 
     /// Total scalar parameter count.
     fn num_params(&self) -> usize;
+
+    /// Serializes the model's full mutable training state — parameters,
+    /// optimizer moments, and any internal counters — for crash-safe
+    /// checkpointing, or `None` when the model does not support resume (the
+    /// default; the trainer then skips checkpointing with a telemetry event).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`RecModel::save_state`] into a model built
+    /// with the identical configuration and dataset. Implementations must
+    /// validate before mutating: on error the model is unchanged.
+    fn load_state(&mut self, _bytes: &[u8]) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            format!("{} does not support checkpoint resume", self.name()),
+        ))
+    }
 }
 
 /// A backbone exposes differentiable user/item embeddings so IMCAT's
@@ -81,6 +99,13 @@ pub trait Backbone: RecModel {
 
     /// Optimizer covering all currently registered parameters.
     fn rebuild_optimizer(&mut self);
+
+    /// The optimizer state (for checkpointing).
+    fn optimizer(&self) -> &Adam;
+
+    /// Split borrow of parameter store and optimizer, for checkpoint restore
+    /// (which rewrites both together).
+    fn store_and_optimizer_mut(&mut self) -> (&mut ParamStore, &mut Adam);
 
     /// Records the *resolved* full user and item embedding matrices on the
     /// tape (`[n_users, d]`, `[n_items, d]`). For GNN backbones this runs
@@ -129,6 +154,16 @@ impl EmbeddingCore {
     /// Recreates the optimizer after registering extra parameters.
     pub fn rebuild_optimizer(&mut self, cfg: &TrainConfig) {
         self.adam = Adam::new(cfg.adam(), &self.store);
+    }
+
+    /// Checkpoint payload: every parameter plus the full Adam state.
+    pub fn save_state(&self) -> Vec<u8> {
+        imcat_ckpt::encode_backbone_state(&self.store, &self.adam)
+    }
+
+    /// Restores a payload written by [`EmbeddingCore::save_state`].
+    pub fn load_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        imcat_ckpt::restore_backbone_state(&mut self.store, &mut self.adam, bytes)
     }
 }
 

@@ -116,6 +116,14 @@ impl RecModel for LightGcn {
     fn num_params(&self) -> usize {
         self.store.num_weights()
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(imcat_ckpt::encode_backbone_state(&self.store, &self.adam))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        imcat_ckpt::restore_backbone_state(&mut self.store, &mut self.adam, bytes)
+    }
 }
 
 impl Backbone for LightGcn {
@@ -133,6 +141,14 @@ impl Backbone for LightGcn {
 
     fn rebuild_optimizer(&mut self) {
         self.adam = Adam::new(self.cfg.adam(), &self.store);
+    }
+
+    fn optimizer(&self) -> &Adam {
+        &self.adam
+    }
+
+    fn store_and_optimizer_mut(&mut self) -> (&mut ParamStore, &mut Adam) {
+        (&mut self.store, &mut self.adam)
     }
 
     fn embed_all(&self, tape: &mut Tape) -> (Var, Var) {

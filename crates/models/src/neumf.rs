@@ -107,6 +107,14 @@ impl RecModel for Neumf {
     fn num_params(&self) -> usize {
         self.core.store.num_weights()
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.core.save_state())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.core.load_state(bytes)
+    }
 }
 
 impl Backbone for Neumf {
@@ -124,6 +132,14 @@ impl Backbone for Neumf {
 
     fn rebuild_optimizer(&mut self) {
         self.core.rebuild_optimizer(&self.cfg);
+    }
+
+    fn optimizer(&self) -> &imcat_tensor::Adam {
+        &self.core.adam
+    }
+
+    fn store_and_optimizer_mut(&mut self) -> (&mut ParamStore, &mut imcat_tensor::Adam) {
+        (&mut self.core.store, &mut self.core.adam)
     }
 
     fn embed_all(&self, tape: &mut Tape) -> (Var, Var) {

@@ -389,6 +389,10 @@ fn sink_lines(snap: &Snapshot, events: &[Event]) -> String {
 
 /// Writes buffered events plus final counter/gauge/histogram summaries as
 /// JSONL to `path`, creating parent directories as needed.
+///
+/// The write is atomic (temp file + fsync + rename), so a crash mid-write —
+/// or a reader racing the writer — never observes a half-written sink: the
+/// path holds either the previous complete file or the new one.
 pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
@@ -396,7 +400,16 @@ pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(path, sink_lines(&snapshot(), &events()))
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(sink_lines(&snapshot(), &events()).as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Human-readable summary of every recorded metric.

@@ -138,6 +138,55 @@ impl Adam {
         self.cfg.lr = lr;
     }
 
+    /// Borrows the full mutable optimizer state for checkpointing: first
+    /// moments, second moments, per-row last-update steps, and the global
+    /// step count, all in parameter registration order.
+    pub fn export_state(&self) -> (&[Tensor], &[Tensor], &[Vec<u64>], u64) {
+        (&self.m, &self.v, &self.last_step, self.t)
+    }
+
+    /// Replaces the optimizer state with one captured by [`Adam::export_state`]
+    /// (e.g. restored from a checkpoint). Every buffer must match the shapes
+    /// this instance was constructed with; on any mismatch the state is left
+    /// untouched and an error describing the first offending parameter is
+    /// returned.
+    pub fn restore_state(
+        &mut self,
+        m: Vec<Tensor>,
+        v: Vec<Tensor>,
+        last_step: Vec<Vec<u64>>,
+        t: u64,
+    ) -> Result<(), String> {
+        if m.len() != self.m.len()
+            || v.len() != self.v.len()
+            || last_step.len() != self.last_step.len()
+        {
+            return Err(format!(
+                "optimizer state has {} parameters, this optimizer has {}",
+                m.len(),
+                self.m.len()
+            ));
+        }
+        for (i, ((mi, vi), li)) in m.iter().zip(&v).zip(&last_step).enumerate() {
+            let want = self.m[i].shape();
+            if mi.shape() != want || vi.shape() != want || li.len() != want.0 {
+                return Err(format!(
+                    "optimizer state shape mismatch at parameter {i}: moments {:?}/{:?}, \
+                     {} last-step rows, expected {:?}",
+                    mi.shape(),
+                    vi.shape(),
+                    li.len(),
+                    want
+                ));
+            }
+        }
+        self.m = m;
+        self.v = v;
+        self.last_step = last_step;
+        self.t = t;
+        Ok(())
+    }
+
     /// Applies one Adam step to every touched row of every parameter, then
     /// clears gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
