@@ -11,7 +11,7 @@
 
 use imcat_bench::ModelKind;
 use imcat_bench::{logln, obs_finish, obs_init, preset_by_key, run_one, write_json, Env, ExpLog};
-use imcat_eval::{evaluate_per_user, EvalTarget};
+use imcat_eval::{evaluate_per_user, EvalSpec};
 use std::time::Instant;
 
 struct Point {
@@ -71,7 +71,7 @@ fn thread_scaling(env: &Env, log: &mut ExpLog) -> Vec<ScalePoint> {
         let mut last = None;
         for _ in 0..reps {
             let mut score_fn = |users: &[u32]| model.score_users(users);
-            last = Some(evaluate_per_user(&mut score_fn, &data, 20, EvalTarget::Test).aggregate());
+            last = Some(evaluate_per_user(&mut score_fn, &data, &EvalSpec::at(20)).aggregate());
         }
         let secs = t0.elapsed().as_secs_f64();
         let m = last.unwrap();

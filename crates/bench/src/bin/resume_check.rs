@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use imcat_bench::ModelKind;
 use imcat_core::{train, ImcatConfig, TrainerConfig};
 use imcat_data::{generate, SplitDataset, SynthConfig};
-use imcat_eval::{evaluate_per_user, EvalTarget};
+use imcat_eval::{evaluate_per_user, EvalSpec};
 use imcat_models::TrainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +52,7 @@ fn trainer_config(max_epochs: usize, ckpt_dir: Option<PathBuf>) -> TrainerConfig
         seed: SEED,
         checkpoint_every: if ckpt_dir.is_some() { 1 } else { 0 },
         checkpoint_dir: ckpt_dir,
+        artifact_path: None,
     }
 }
 
@@ -64,7 +65,7 @@ fn run(max_epochs: usize, ckpt_dir: Option<PathBuf>) -> (imcat_core::TrainReport
     let mut model = ModelKind::BImcat.build(&data, &tcfg, &icfg, SEED);
     let report = train(model.as_mut(), &data, &trainer_config(max_epochs, ckpt_dir));
     let mut score_fn = |users: &[u32]| model.score_users(users);
-    let agg = evaluate_per_user(&mut score_fn, &data, 20, EvalTarget::Test).aggregate();
+    let agg = evaluate_per_user(&mut score_fn, &data, &EvalSpec::at(20)).aggregate();
     (report, agg.recall.to_bits(), agg.ndcg.to_bits())
 }
 

@@ -7,7 +7,7 @@ use std::time::Instant;
 use imcat_ckpt::{Checkpoint, Decoder, Encoder};
 use imcat_core::{ImcatConfig, TrainerConfig};
 use imcat_data::{generate, SplitDataset, SynthConfig};
-use imcat_eval::{evaluate_per_user, EvalTarget, PerUserMetrics};
+use imcat_eval::{evaluate_per_user, EvalSpec, PerUserMetrics};
 use imcat_models::TrainConfig;
 use imcat_obs::{Json, ToJson};
 use rand::rngs::StdRng;
@@ -340,7 +340,7 @@ pub fn run_one(
     let report = imcat_core::train(model.as_mut(), data, &trainer_cfg);
     let t0 = Instant::now();
     let mut score_fn = |users: &[u32]| model.score_users(users);
-    let per_user = evaluate_per_user(&mut score_fn, data, 20, EvalTarget::Test);
+    let per_user = evaluate_per_user(&mut score_fn, data, &EvalSpec::at(20));
     let _ = t0;
     if imcat_obs::enabled() {
         // Snapshot delta isolates this run's phase times even when several

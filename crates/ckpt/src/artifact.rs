@@ -1,0 +1,253 @@
+//! Frozen inference artifacts: the serving-side counterpart of a training
+//! checkpoint.
+//!
+//! An [`Artifact`] captures everything `imcat-serve` needs to answer
+//! `recommend(user, k)` requests without touching the tape, autodiff, or
+//! optimizer: the resolved post-propagation user/item embedding matrices and
+//! each user's sorted training-item mask. It is written in the same `IMCK`
+//! section container as training checkpoints ([`Checkpoint`]), so it inherits
+//! the atomic tmp+fsync+rename write path, the `.prev` rotation/fallback, and
+//! whole-file checksum verification — a truncated or corrupted artifact is
+//! rejected as a unit, never partially loaded.
+
+use std::io;
+use std::path::Path;
+
+use imcat_tensor::Tensor;
+
+use crate::{bad, Checkpoint, Decoder, Encoder};
+
+/// Section holding the model name and the matrix/mask dimensions.
+const SEC_META: &str = "artifact.meta";
+/// Section holding the resolved `[n_users, d]` user embedding matrix.
+const SEC_USER_EMB: &str = "artifact.user_emb";
+/// Section holding the resolved `[n_items, d]` item embedding matrix.
+const SEC_ITEM_EMB: &str = "artifact.item_emb";
+/// Section holding the per-user sorted training-item masks.
+const SEC_MASKS: &str = "artifact.masks";
+
+/// A frozen top-K inference artifact: resolved embeddings plus per-user
+/// training-item masks, such that user `u`'s relevance for item `j` is
+/// exactly `user_emb[u] · item_emb[j]` and served rankings exclude `masks[u]`.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Name of the model that produced the embeddings (for telemetry and
+    /// sanity checks; the serving engine is model-agnostic).
+    pub model: String,
+    /// Resolved `[n_users, d]` user embeddings.
+    pub user_emb: Tensor,
+    /// Resolved `[n_items, d]` item embeddings.
+    pub item_emb: Tensor,
+    /// Per-user sorted, deduplicated training-item ids, masked out of served
+    /// rankings exactly as the evaluator masks them.
+    pub masks: Vec<Vec<u32>>,
+}
+
+impl Artifact {
+    /// Bundles resolved embeddings and masks into an artifact (not yet
+    /// validated; see [`Artifact::validate`]).
+    pub fn new(
+        model: impl Into<String>,
+        user_emb: Tensor,
+        item_emb: Tensor,
+        masks: Vec<Vec<u32>>,
+    ) -> Self {
+        Self { model: model.into(), user_emb, item_emb, masks }
+    }
+
+    /// Number of users the artifact serves.
+    pub fn n_users(&self) -> usize {
+        self.user_emb.rows()
+    }
+
+    /// Number of items in the catalogue.
+    pub fn n_items(&self) -> usize {
+        self.item_emb.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.user_emb.cols()
+    }
+
+    /// Structural validation: consistent shapes, finite embeddings, and
+    /// per-user masks that are strictly increasing with in-range item ids.
+    /// Load and save both go through this, so an artifact that decodes is an
+    /// artifact the serving engine can trust blindly.
+    pub fn validate(&self) -> io::Result<()> {
+        if self.user_emb.cols() != self.item_emb.cols() {
+            return Err(bad(format!(
+                "artifact embedding dims differ: users {:?} vs items {:?}",
+                self.user_emb.shape(),
+                self.item_emb.shape()
+            )));
+        }
+        if self.masks.len() != self.n_users() {
+            return Err(bad(format!(
+                "artifact has {} masks for {} users",
+                self.masks.len(),
+                self.n_users()
+            )));
+        }
+        let nonfinite = self
+            .user_emb
+            .as_slice()
+            .iter()
+            .chain(self.item_emb.as_slice())
+            .filter(|v| !v.is_finite())
+            .count();
+        if nonfinite > 0 {
+            return Err(bad(format!("artifact embeddings contain {nonfinite} nonfinite values")));
+        }
+        let n_items = self.n_items() as u32;
+        for (u, mask) in self.masks.iter().enumerate() {
+            if !mask.windows(2).all(|w| w[0] < w[1]) {
+                return Err(bad(format!("mask for user {u} is not strictly increasing")));
+            }
+            if mask.last().is_some_and(|&j| j >= n_items) {
+                return Err(bad(format!("mask for user {u} references item >= {n_items}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes into the `IMCK` section container.
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        let mut meta = Encoder::new();
+        meta.put_str(&self.model);
+        meta.put_u64(self.n_users() as u64);
+        meta.put_u64(self.n_items() as u64);
+        meta.put_u64(self.dim() as u64);
+        ck.insert(SEC_META, meta.into_bytes());
+        let mut ue = Encoder::new();
+        ue.put_tensor(&self.user_emb);
+        ck.insert(SEC_USER_EMB, ue.into_bytes());
+        let mut ve = Encoder::new();
+        ve.put_tensor(&self.item_emb);
+        ck.insert(SEC_ITEM_EMB, ve.into_bytes());
+        let mut ms = Encoder::new();
+        ms.put_u64(self.masks.len() as u64);
+        for mask in &self.masks {
+            ms.put_u32s(mask);
+        }
+        ck.insert(SEC_MASKS, ms.into_bytes());
+        ck
+    }
+
+    /// Decodes and validates an artifact; on any error nothing partial
+    /// escapes — the caller either gets a fully validated artifact or an
+    /// error.
+    pub fn from_checkpoint(ck: &Checkpoint) -> io::Result<Self> {
+        let mut meta = Decoder::new(ck.require(SEC_META)?);
+        let model = meta.str()?.to_string();
+        let n_users = meta.u64()? as usize;
+        let n_items = meta.u64()? as usize;
+        let dim = meta.u64()? as usize;
+        meta.finish()?;
+        let mut ue = Decoder::new(ck.require(SEC_USER_EMB)?);
+        let user_emb = ue.tensor()?;
+        ue.finish()?;
+        let mut ve = Decoder::new(ck.require(SEC_ITEM_EMB)?);
+        let item_emb = ve.tensor()?;
+        ve.finish()?;
+        if user_emb.shape() != (n_users, dim) {
+            return Err(bad(format!(
+                "user embedding shape {:?} contradicts meta ({n_users}, {dim})",
+                user_emb.shape()
+            )));
+        }
+        if item_emb.shape() != (n_items, dim) {
+            return Err(bad(format!(
+                "item embedding shape {:?} contradicts meta ({n_items}, {dim})",
+                item_emb.shape()
+            )));
+        }
+        let mut ms = Decoder::new(ck.require(SEC_MASKS)?);
+        let n_masks = ms.u64()? as usize;
+        if n_masks != n_users {
+            return Err(bad(format!("artifact has {n_masks} masks for {n_users} users")));
+        }
+        let mut masks = Vec::with_capacity(n_masks);
+        for _ in 0..n_masks {
+            masks.push(ms.u32s()?);
+        }
+        ms.finish()?;
+        let art = Self { model, user_emb, item_emb, masks };
+        art.validate()?;
+        Ok(art)
+    }
+
+    /// Validates, then atomically writes the artifact (tmp+fsync+rename with
+    /// `.prev` rotation). Returns the bytes written.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<u64> {
+        self.validate()?;
+        let bytes = self.to_checkpoint().save(path)?;
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("artifact.saves", 1);
+        }
+        Ok(bytes)
+    }
+
+    /// Loads and validates an artifact, falling back to `<path>.prev` when
+    /// the primary file is corrupt (the [`Checkpoint::load`] discipline).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::from_checkpoint(&Checkpoint::load(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let user_emb = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let item_emb = Tensor::from_vec(4, 3, vec![0.5; 12]);
+        Artifact::new("BPRMF", user_emb, item_emb, vec![vec![0, 2], vec![1, 3]])
+    }
+
+    #[test]
+    fn roundtrips_through_container() {
+        let art = sample();
+        let back = Artifact::from_checkpoint(&art.to_checkpoint()).unwrap();
+        assert_eq!(back.model, "BPRMF");
+        assert_eq!(back.user_emb.as_slice(), art.user_emb.as_slice());
+        assert_eq!(back.item_emb.as_slice(), art.item_emb.as_slice());
+        assert_eq!(back.masks, art.masks);
+    }
+
+    #[test]
+    fn rejects_unsorted_mask() {
+        let mut art = sample();
+        art.masks[0] = vec![2, 0];
+        assert!(art.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_mask() {
+        let mut art = sample();
+        art.masks[1] = vec![1, 99];
+        assert!(art.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_mask_count_mismatch() {
+        let mut art = sample();
+        art.masks.pop();
+        assert!(art.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let mut art = sample();
+        art.item_emb = Tensor::zeros(4, 5);
+        assert!(art.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nonfinite_embeddings() {
+        let mut art = sample();
+        art.user_emb.row_mut(0)[1] = f32::NAN;
+        assert!(art.validate().is_err());
+    }
+}

@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
+
+pub use artifact::Artifact;
+
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
 

@@ -526,6 +526,10 @@ impl<B: Backbone> RecModel for Imcat<B> {
         EpochStats { loss: total / batches as f32, batches }
     }
 
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        self.backbone.export_embeddings()
+    }
+
     fn score_users(&self, users: &[u32]) -> Tensor {
         self.backbone.score_users(users)
     }

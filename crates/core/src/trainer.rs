@@ -45,6 +45,11 @@ pub struct TrainerConfig {
     pub checkpoint_every: usize,
     /// Directory for `trainer.ckpt`; `None` disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Write a frozen inference artifact (resolved embeddings + train masks,
+    /// see [`imcat_ckpt::Artifact`]) here every time validation recall
+    /// improves; `None` disables artifact export. Models whose scoring is not
+    /// a user–item dot product skip the export with an `artifact_skip` event.
+    pub artifact_path: Option<PathBuf>,
 }
 
 impl Default for TrainerConfig {
@@ -57,6 +62,7 @@ impl Default for TrainerConfig {
             seed: 7,
             checkpoint_every: 0,
             checkpoint_dir: None,
+            artifact_path: None,
         }
     }
 }
@@ -89,6 +95,9 @@ pub struct TrainReport {
     pub curve: Vec<(usize, f64)>,
     /// When the run resumed from a checkpoint, the epoch it resumed after.
     pub resumed_from: Option<usize>,
+    /// Where the best-epoch inference artifact was written, when
+    /// [`TrainerConfig::artifact_path`] was set and the model supports export.
+    pub artifact: Option<PathBuf>,
 }
 
 /// Validation Recall@N (training items masked), shared by the trainer and the
@@ -304,6 +313,7 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
         }
     }
     let mut skip_emitted = false;
+    let mut artifact_written = ArtifactStatus::NotWritten;
     for epoch in start_epoch..=cfg.max_epochs {
         let t0 = Instant::now();
         let stats = model.train_epoch(&mut rng);
@@ -342,6 +352,16 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
             if recall > best {
                 best = recall;
                 since_best = 0;
+                if let Some(path) = &cfg.artifact_path {
+                    export_best_artifact(
+                        model,
+                        data,
+                        path,
+                        epoch,
+                        &mut artifact_written,
+                        telemetry,
+                    );
+                }
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
@@ -421,6 +441,59 @@ pub fn train(model: &mut dyn RecModel, data: &SplitDataset, cfg: &TrainerConfig)
         train_seconds,
         curve,
         resumed_from,
+        artifact: match artifact_written {
+            ArtifactStatus::Written => cfg.artifact_path.clone(),
+            _ => None,
+        },
+    }
+}
+
+/// Whether the best-epoch artifact made it to disk during this run.
+enum ArtifactStatus {
+    NotWritten,
+    Written,
+    Unsupported,
+}
+
+/// Exports the model's frozen inference artifact after a validation-recall
+/// improvement. Failures never abort training: an unsupported model logs one
+/// `artifact_skip` event, an I/O error is printed and retried at the next
+/// improvement.
+fn export_best_artifact(
+    model: &dyn RecModel,
+    data: &SplitDataset,
+    path: &Path,
+    epoch: usize,
+    status: &mut ArtifactStatus,
+    telemetry: bool,
+) {
+    if matches!(status, ArtifactStatus::Unsupported) {
+        return;
+    }
+    let Some(artifact) = model.export_artifact(data) else {
+        *status = ArtifactStatus::Unsupported;
+        if telemetry {
+            imcat_obs::counter_add("artifact.skips", 1);
+            imcat_obs::emit("artifact_skip", vec![("model", imcat_obs::Json::Str(model.name()))]);
+        }
+        return;
+    };
+    match artifact.save(path) {
+        Ok(bytes) => {
+            *status = ArtifactStatus::Written;
+            if telemetry {
+                imcat_obs::emit(
+                    "artifact",
+                    vec![
+                        ("epoch", imcat_obs::Json::Num(epoch as f64)),
+                        ("bytes", imcat_obs::Json::Num(bytes as f64)),
+                    ],
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("trainer: artifact export to {} failed: {e}", path.display());
+        }
     }
 }
 
@@ -455,6 +528,54 @@ mod tests {
             TrainerConfig { max_epochs: 200, eval_every: 1, patience: 1, ..Default::default() };
         let report = train(&mut model, &data, &cfg);
         assert!(report.epochs_run < 200, "early stopping never fired");
+    }
+
+    #[test]
+    fn best_epoch_artifact_is_written_and_loadable() {
+        let data = tiny_split(304);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
+        let dir = std::env::temp_dir().join("imcat-trainer-artifact-304");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.artifact");
+        let cfg = TrainerConfig {
+            max_epochs: 10,
+            eval_every: 5,
+            patience: 2,
+            artifact_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let report = train(&mut model, &data, &cfg);
+        assert_eq!(report.artifact.as_deref(), Some(path.as_path()));
+        let art = imcat_ckpt::Artifact::load(&path).unwrap();
+        assert_eq!(art.model, "BPRMF");
+        assert_eq!(art.n_users(), data.n_users());
+        assert_eq!(art.n_items(), data.n_items());
+        for u in 0..data.n_users() {
+            assert_eq!(art.masks[u], data.train_items(u));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_dot_product_model_skips_artifact() {
+        let data = tiny_split(305);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = imcat_models::Neumf::new(&data, TrainConfig::default(), &mut rng);
+        let dir = std::env::temp_dir().join("imcat-trainer-artifact-305");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.artifact");
+        let cfg = TrainerConfig {
+            max_epochs: 5,
+            eval_every: 5,
+            patience: 1,
+            artifact_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let report = train(&mut model, &data, &cfg);
+        assert!(report.artifact.is_none());
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

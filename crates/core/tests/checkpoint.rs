@@ -31,6 +31,7 @@ fn config(max_epochs: usize, dir: Option<PathBuf>) -> TrainerConfig {
         seed: 7,
         checkpoint_every: if dir.is_some() { 1 } else { 0 },
         checkpoint_dir: dir,
+        artifact_path: None,
     }
 }
 

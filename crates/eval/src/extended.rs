@@ -8,7 +8,7 @@ use imcat_data::SplitDataset;
 use imcat_graph::jaccard_sorted;
 use imcat_tensor::Tensor;
 
-use crate::metrics::{top_n_masked, EvalTarget};
+use crate::metrics::{top_n_masked_with, EvalSpec, EvalTarget, TopKScratch};
 
 /// A bundle of ranking metrics at one cutoff.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -32,16 +32,17 @@ pub struct ExtendedMetrics {
     pub n_users: usize,
 }
 
-/// Computes [`ExtendedMetrics`] over all users with a non-empty target set.
+/// Computes [`ExtendedMetrics`] over all selected users with a non-empty
+/// target set.
 pub fn evaluate_extended(
     score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
     data: &SplitDataset,
-    n: usize,
-    target: EvalTarget,
+    spec: &EvalSpec,
 ) -> ExtendedMetrics {
+    let n = spec.k;
     let users: Vec<u32> = (0..data.n_users() as u32)
         .filter(|&u| {
-            let held = match target {
+            let held = match spec.target {
                 EvalTarget::Validation => &data.val[u as usize],
                 EvalTarget::Test => &data.test[u as usize],
             };
@@ -53,12 +54,13 @@ pub fn evaluate_extended(
     }
     let mut out = ExtendedMetrics { n_users: users.len(), ..Default::default() };
     let mut recommended = vec![false; data.n_items()];
+    let mut scratch = TopKScratch::default();
     for chunk in users.chunks(256) {
         let scores = score_fn(chunk);
         for (row, &u) in chunk.iter().enumerate() {
             let train = data.train_items(u as usize);
-            let top = top_n_masked(scores.row(row), train, n);
-            let truth = match target {
+            let top = top_n_masked_with(scores.row(row), train, n, &mut scratch);
+            let truth = match spec.target {
                 EvalTarget::Validation => &data.val[u as usize],
                 EvalTarget::Test => &data.test[u as usize],
             };
@@ -78,7 +80,7 @@ pub fn evaluate_extended(
             out.hit_rate += if hits > 0 { 1.0 } else { 0.0 };
             out.map += if truth.is_empty() { 0.0 } else { ap / truth.len().min(n) as f64 };
             out.mrr += first_hit_rank.map_or(0.0, |r| 1.0 / (r + 1) as f64);
-            out.intra_list_diversity += intra_list_diversity(data, &top);
+            out.intra_list_diversity += intra_list_diversity(data, top);
         }
     }
     let nf = users.len() as f64;
@@ -143,7 +145,7 @@ mod tests {
             }
             t
         };
-        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        let m = evaluate_extended(&mut score_fn, &data, &EvalSpec::at(5));
         assert!((m.recall - 1.0).abs() < 1e-9);
         assert!((m.hit_rate - 1.0).abs() < 1e-9);
         assert!((m.map - 1.0).abs() < 1e-9);
@@ -155,7 +157,7 @@ mod tests {
     fn zero_scores_still_bounded() {
         let data = fixed_split();
         let mut score_fn = |users: &[u32]| Tensor::zeros(users.len(), 12);
-        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        let m = evaluate_extended(&mut score_fn, &data, &EvalSpec::at(5));
         for v in [m.recall, m.precision, m.hit_rate, m.map, m.mrr, m.coverage] {
             assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
         }
@@ -188,7 +190,7 @@ mod tests {
         };
         // Mask nothing by evaluating against validation users with empty
         // training overlap is complicated; just check bounds + rough value.
-        let m = evaluate_extended(&mut score_fn, &data, 5, EvalTarget::Test);
+        let m = evaluate_extended(&mut score_fn, &data, &EvalSpec::at(5));
         assert!(m.coverage <= 1.0 && m.coverage > 0.0);
     }
 }

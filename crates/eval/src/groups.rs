@@ -10,7 +10,7 @@
 use imcat_data::SplitDataset;
 use imcat_tensor::Tensor;
 
-use crate::metrics::{evaluate_per_user, top_n_masked, EvalTarget, PerUserMetrics};
+use crate::metrics::{evaluate_per_user, top_n_masked_with, EvalSpec, PerUserMetrics, TopKScratch};
 
 /// Assigns items to `n_groups` equal-size popularity groups by ascending
 /// training-interaction count (`G1` = least popular).
@@ -33,13 +33,14 @@ pub fn group_recall_contribution(
     if users.is_empty() {
         return contrib;
     }
+    let mut scratch = TopKScratch::default();
     for chunk in users.chunks(256) {
         let scores = score_fn(chunk);
         for (row, &u) in chunk.iter().enumerate() {
             let train = data.train_items(u as usize);
-            let top = top_n_masked(scores.row(row), train, n);
+            let top = top_n_masked_with(scores.row(row), train, n, &mut scratch);
             let truth = &data.test[u as usize];
-            for j in top {
+            for &j in top {
                 if truth.contains(&j) {
                     contrib[groups[j as usize]] += 1.0 / truth.len() as f64;
                 }
@@ -62,24 +63,15 @@ pub fn cold_start_users(data: &SplitDataset, threshold: usize) -> Vec<u32> {
         .collect()
 }
 
-/// Metrics restricted to a user subset.
+/// Test-split metrics restricted to a user subset (scores only the subset;
+/// per-user results are bit-identical to a full evaluation's).
 pub fn evaluate_user_subset(
     score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
     data: &SplitDataset,
     n: usize,
     subset: &[u32],
 ) -> PerUserMetrics {
-    let all = evaluate_per_user(score_fn, data, n, EvalTarget::Test);
-    let keep: std::collections::HashSet<u32> = subset.iter().copied().collect();
-    let mut out = PerUserMetrics::default();
-    for (i, &u) in all.users.iter().enumerate() {
-        if keep.contains(&u) {
-            out.users.push(u);
-            out.recall.push(all.recall[i]);
-            out.ndcg.push(all.ndcg[i]);
-        }
-    }
-    out
+    evaluate_per_user(score_fn, data, &EvalSpec::at(n).users(subset.to_vec()))
 }
 
 #[cfg(test)]
@@ -134,7 +126,7 @@ mod tests {
         };
         let groups = item_popularity_groups(&data, 5);
         let contrib = group_recall_contribution(&mut score_fn, &data, 20, &groups, 5);
-        let overall = crate::metrics::evaluate(&mut score_fn, &data, 20, EvalTarget::Test);
+        let overall = crate::metrics::evaluate(&mut score_fn, &data, &EvalSpec::at(20));
         let sum: f64 = contrib.iter().sum();
         assert!(
             (sum - overall.recall).abs() < 1e-9,

@@ -17,6 +17,7 @@ pub use groups::{
     cold_start_users, evaluate_user_subset, group_recall_contribution, item_popularity_groups,
 };
 pub use metrics::{
-    evaluate, evaluate_per_user, top_n_masked, EvalTarget, PerUserMetrics, RankingMetrics,
+    evaluate, evaluate_per_user, top_n_masked, top_n_masked_with, EvalSpec, EvalTarget,
+    PerUserMetrics, RankingMetrics, TopKScratch,
 };
 pub use stats::{incomplete_beta, ln_gamma, mean, paired_t_test, std_dev, two_tailed_p, TTest};

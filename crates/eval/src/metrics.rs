@@ -65,36 +65,131 @@ fn held_out(data: &SplitDataset, target: EvalTarget, u: usize) -> &[u32] {
     }
 }
 
-/// The top-`n` unmasked item indices of one score row.
-pub fn top_n_masked(scores: &[f32], mask: &[u32], n: usize) -> Vec<u32> {
-    let mut ranked: Vec<(u32, f32)> = scores
-        .iter()
-        .copied()
-        .enumerate()
-        .map(|(j, s)| (j as u32, s))
-        .filter(|(j, _)| mask.binary_search(j).is_err())
-        .collect();
-    // Partial selection then exact ordering of the head.
-    let n = n.min(ranked.len());
-    ranked.select_nth_unstable_by(n.saturating_sub(1), |a, b| b.1.total_cmp(&a.1));
-    ranked.truncate(n);
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    ranked.into_iter().map(|(j, _)| j).collect()
+/// Declarative description of one evaluation run, replacing the old
+/// positional `(n, target)` argument pairs (and their same-typed-args-in-the-
+/// wrong-order hazards) with named fields and builder methods:
+///
+/// ```
+/// use imcat_eval::EvalSpec;
+/// let spec = EvalSpec::at(20).validation();
+/// let cold = EvalSpec::at(10).users(vec![3, 7, 11]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvalSpec {
+    /// Ranking cutoff `N` for Recall@N / NDCG@N.
+    pub k: usize,
+    /// Which held-out split supplies the ground truth.
+    pub target: EvalTarget,
+    /// Restrict evaluation to this user subset (`None` = all users). Users
+    /// without a held-out item in `target` are skipped either way.
+    pub users: Option<Vec<u32>>,
+    /// Mask each user's training items out of the ranking (the paper's
+    /// protocol). Disable only for diagnostics.
+    pub mask_train: bool,
 }
 
-/// Per-user Recall@N and NDCG@N for every user with a non-empty target set.
+impl Default for EvalSpec {
+    fn default() -> Self {
+        Self { k: 20, target: EvalTarget::Test, users: None, mask_train: true }
+    }
+}
+
+impl EvalSpec {
+    /// Test-split evaluation at cutoff `k` with training items masked.
+    pub fn at(k: usize) -> Self {
+        Self { k, ..Self::default() }
+    }
+
+    /// Evaluates against the validation split.
+    pub fn validation(mut self) -> Self {
+        self.target = EvalTarget::Validation;
+        self
+    }
+
+    /// Evaluates against the test split.
+    pub fn test(mut self) -> Self {
+        self.target = EvalTarget::Test;
+        self
+    }
+
+    /// Restricts evaluation to a user subset (e.g. a cold-start group).
+    pub fn users(mut self, users: Vec<u32>) -> Self {
+        self.users = Some(users);
+        self
+    }
+
+    /// Ranks over *all* items, training interactions included.
+    pub fn unmasked(mut self) -> Self {
+        self.mask_train = false;
+        self
+    }
+
+    fn select_users(&self, data: &SplitDataset) -> Vec<u32> {
+        let nonempty = |u: u32| !held_out(data, self.target, u as usize).is_empty();
+        match &self.users {
+            Some(sel) => sel.iter().copied().filter(|&u| nonempty(u)).collect(),
+            None => (0..data.n_users() as u32).filter(|&u| nonempty(u)).collect(),
+        }
+    }
+}
+
+/// Reusable ranking buffers. One scratch per worker lets a stream of users be
+/// ranked without any per-user allocation; reuse never changes results — the
+/// selection runs on identical contents regardless of buffer history.
+#[derive(Default)]
+pub struct TopKScratch {
+    ranked: Vec<(u32, f32)>,
+    top: Vec<u32>,
+}
+
+/// The top-`n` unmasked item indices of one score row, reusing `scratch`.
+/// `mask` must be sorted ascending (training-item lists are).
+pub fn top_n_masked_with<'a>(
+    scores: &[f32],
+    mask: &[u32],
+    n: usize,
+    scratch: &'a mut TopKScratch,
+) -> &'a [u32] {
+    let ranked = &mut scratch.ranked;
+    ranked.clear();
+    ranked.extend(
+        scores
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(j, s)| (j as u32, s))
+            .filter(|(j, _)| mask.binary_search(j).is_err()),
+    );
+    // Partial selection then exact ordering of the head.
+    let n = n.min(ranked.len());
+    if n > 0 {
+        ranked.select_nth_unstable_by(n - 1, |a, b| b.1.total_cmp(&a.1));
+        ranked[..n].sort_by(|a, b| b.1.total_cmp(&a.1));
+    }
+    scratch.top.clear();
+    scratch.top.extend(ranked[..n].iter().map(|&(j, _)| j));
+    &scratch.top
+}
+
+/// The top-`n` unmasked item indices of one score row (allocating
+/// convenience wrapper over [`top_n_masked_with`]).
+pub fn top_n_masked(scores: &[f32], mask: &[u32], n: usize) -> Vec<u32> {
+    let mut scratch = TopKScratch::default();
+    top_n_masked_with(scores, mask, n, &mut scratch).to_vec()
+}
+
+/// Per-user Recall@N and NDCG@N for every selected user with a non-empty
+/// target set.
 ///
 /// `score_fn(users)` must return `[users.len(), n_items]` relevance scores.
 /// Users are scored in chunks to bound peak memory.
 pub fn evaluate_per_user(
     score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
     data: &SplitDataset,
-    n: usize,
-    target: EvalTarget,
+    spec: &EvalSpec,
 ) -> PerUserMetrics {
-    let users: Vec<u32> = (0..data.n_users() as u32)
-        .filter(|&u| !held_out(data, target, u as usize).is_empty())
-        .collect();
+    let users = spec.select_users(data);
+    let n = spec.k;
     let mut out = PerUserMetrics::default();
     let pool = imcat_par::global();
     for chunk in users.chunks(256) {
@@ -105,20 +200,25 @@ pub fn evaluate_per_user(
         // the result order — and every bit — is thread-count independent.
         let mut per_user = vec![(0.0f64, 0.0f64); chunk.len()];
         pool.parallel_chunks_mut(&mut per_user, 32, |ci, slots| {
+            // One scratch per worker slice: every user in it reuses the same
+            // ranking buffers instead of allocating fresh ones.
+            let mut scratch = TopKScratch::default();
             for (off, slot) in slots.iter_mut().enumerate() {
                 let row = ci * 32 + off;
                 let u = chunk[row];
-                let train = data.train_items(u as usize);
-                let top = top_n_masked(scores.row(row), train, n);
-                let truth = held_out(data, target, u as usize);
-                let hits: Vec<usize> = top
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, j)| truth.contains(j))
-                    .map(|(rank, _)| rank)
-                    .collect();
-                let recall = hits.len() as f64 / truth.len() as f64;
-                let dcg: f64 = hits.iter().map(|&r| 1.0 / ((r + 2) as f64).log2()).sum();
+                let train: &[u32] =
+                    if spec.mask_train { data.train_items(u as usize) } else { &[] };
+                let top = top_n_masked_with(scores.row(row), train, n, &mut scratch);
+                let truth = held_out(data, spec.target, u as usize);
+                let mut hits = 0usize;
+                let mut dcg = 0.0f64;
+                for (rank, j) in top.iter().enumerate() {
+                    if truth.contains(j) {
+                        hits += 1;
+                        dcg += 1.0 / ((rank + 2) as f64).log2();
+                    }
+                }
+                let recall = hits as f64 / truth.len() as f64;
                 let ideal: f64 =
                     (0..truth.len().min(n)).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
                 let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
@@ -138,10 +238,9 @@ pub fn evaluate_per_user(
 pub fn evaluate(
     score_fn: &mut dyn FnMut(&[u32]) -> Tensor,
     data: &SplitDataset,
-    n: usize,
-    target: EvalTarget,
+    spec: &EvalSpec,
 ) -> RankingMetrics {
-    evaluate_per_user(score_fn, data, n, target).aggregate()
+    evaluate_per_user(score_fn, data, spec).aggregate()
 }
 
 #[cfg(test)]
@@ -174,7 +273,7 @@ mod tests {
             }
             t
         };
-        let m = evaluate(&mut score_fn, &data, 5, EvalTarget::Test);
+        let m = evaluate(&mut score_fn, &data, &EvalSpec::at(5));
         assert!((m.recall - 1.0).abs() < 1e-9);
         assert!((m.ndcg - 1.0).abs() < 1e-9);
         assert_eq!(m.evaluated_users, 1);
@@ -203,7 +302,7 @@ mod tests {
             item_tag: d.item_tag.clone(),
         };
         let mut score_fn = |users: &[u32]| Tensor::zeros(users.len(), 6);
-        let m = evaluate(&mut score_fn, &split, 5, EvalTarget::Test);
+        let m = evaluate(&mut score_fn, &split, &EvalSpec::at(5));
         assert_eq!(m.evaluated_users, 0);
         assert_eq!(m.recall, 0.0);
         assert_eq!(m.ndcg, 0.0);
@@ -247,7 +346,7 @@ mod tests {
             t
         };
         // Only `n` below (candidates - test size) can exclude the test items.
-        let m = evaluate(&mut score_fn, &data, 1, EvalTarget::Test);
+        let m = evaluate(&mut score_fn, &data, &EvalSpec::at(1));
         assert_eq!(m.recall, 0.0);
         assert_eq!(m.ndcg, 0.0);
     }
@@ -275,8 +374,8 @@ mod tests {
             t.set(0, t0, -100.0);
             t
         };
-        let m_early = evaluate(&mut early, &data, 8, EvalTarget::Test);
-        let m_late = evaluate(&mut late, &data, 8, EvalTarget::Test);
+        let m_early = evaluate(&mut early, &data, &EvalSpec::at(8));
+        let m_late = evaluate(&mut late, &data, &EvalSpec::at(8));
         assert!(m_early.ndcg > m_late.ndcg);
     }
 
@@ -287,5 +386,24 @@ mod tests {
         assert_eq!(top, vec![1, 3, 2]);
         let masked = top_n_masked(&scores, &[1, 3], 3);
         assert_eq!(masked, vec![2, 4, 0]);
+    }
+
+    /// Reusing one scratch across many rankings must give exactly the same
+    /// results as a fresh scratch (or the allocating wrapper) per call.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows = imcat_tensor::normal(40, 25, 1.0, &mut rng);
+        let mut reused = TopKScratch::default();
+        for r in 0..rows.rows() {
+            let mask: Vec<u32> = (0..25).filter(|j| (j + r) % 3 == 0).map(|j| j as u32).collect();
+            let n = 1 + r % 12;
+            let fresh = top_n_masked(rows.row(r), &mask, n);
+            let shared = top_n_masked_with(rows.row(r), &mask, n, &mut reused);
+            assert_eq!(fresh, shared, "row {r} diverged under scratch reuse");
+        }
+        // Degenerate case: everything masked -> empty list, no panic.
+        let all: Vec<u32> = (0..25).collect();
+        assert!(top_n_masked_with(rows.row(0), &all, 5, &mut reused).is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for metric invariants.
 
 use imcat_data::{Dataset, SplitDataset};
-use imcat_eval::{evaluate, paired_t_test, top_n_masked, EvalTarget};
+use imcat_eval::{evaluate, paired_t_test, top_n_masked, top_n_masked_with, EvalSpec, TopKScratch};
 use imcat_tensor::{Csr, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -43,7 +43,7 @@ proptest! {
             }
             t
         };
-        let m = evaluate(&mut score_fn, &split, n, EvalTarget::Test);
+        let m = evaluate(&mut score_fn, &split, &EvalSpec::at(n));
         prop_assert!((0.0..=1.0).contains(&m.recall));
         prop_assert!((0.0..=1.0).contains(&m.ndcg));
     }
@@ -63,7 +63,7 @@ proptest! {
         };
         let mut last = 0.0;
         for n in [1usize, 5, 10, 20] {
-            let m = evaluate(&mut score_fn, &split, n, EvalTarget::Test);
+            let m = evaluate(&mut score_fn, &split, &EvalSpec::at(n));
             prop_assert!(m.recall >= last - 1e-12, "recall not monotone in N");
             last = m.recall;
         }
@@ -86,6 +86,21 @@ proptest! {
             prop_assert!(scores[j as usize] <= last + 1e-6, "not descending");
             last = scores[j as usize];
         }
+    }
+
+    /// Scratch reuse never changes the ranking: a shared `TopKScratch`
+    /// driven through many calls matches the allocating wrapper bit-for-bit.
+    #[test]
+    fn scratch_reuse_matches_fresh(
+        scores in proptest::collection::vec(-10.0f32..10.0, 5..30),
+        n in 1usize..10,
+    ) {
+        let mask: Vec<u32> = (0..scores.len() as u32).filter(|i| i % 5 == 1).collect();
+        let mut scratch = TopKScratch::default();
+        // Warm the scratch with unrelated content first.
+        let _ = top_n_masked_with(&scores, &[], scores.len(), &mut scratch);
+        let shared = top_n_masked_with(&scores, &mask, n, &mut scratch).to_vec();
+        prop_assert_eq!(shared, top_n_masked(&scores, &mask, n));
     }
 
     /// t-test symmetry: swapping the samples negates t and keeps p.

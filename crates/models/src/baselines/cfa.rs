@@ -77,10 +77,9 @@ impl RecModel for Cfa {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        let p = select_rows(&self.profiles, users);
-        let latent = self.encoder.forward_tensor(&self.core.store, &p);
-        latent.matmul_nt(self.core.store.value(self.core.item_emb))
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        let latent = self.encoder.forward_tensor(&self.core.store, &self.profiles);
+        Some((latent, self.core.store.value(self.core.item_emb).clone()))
     }
 
     fn num_params(&self) -> usize {

@@ -11,7 +11,7 @@ use imcat_data::{BprSampler, SplitDataset};
 use imcat_tensor::{xavier_uniform, ParamId, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
-use crate::common::{bpr_loss, dot_score_all, EmbeddingCore, EpochStats, RecModel, TrainConfig};
+use crate::common::{bpr_loss, EmbeddingCore, EpochStats, RecModel, TrainConfig};
 
 /// Collaborative knowledge-base embedding.
 pub struct Cke {
@@ -101,12 +101,11 @@ impl RecModel for Cke {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        dot_score_all(
-            self.core.store.value(self.core.user_emb),
-            self.core.store.value(self.core.item_emb),
-            users,
-        )
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        Some((
+            self.core.store.value(self.core.user_emb).clone(),
+            self.core.store.value(self.core.item_emb).clone(),
+        ))
     }
 
     fn num_params(&self) -> usize {

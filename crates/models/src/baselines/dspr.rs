@@ -76,11 +76,10 @@ impl RecModel for Dspr {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        let pu = select_rows(&self.user_profiles, users);
-        let fu = normalize_rows(self.tower.forward_tensor(&self.store, &pu));
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        let fu = normalize_rows(self.tower.forward_tensor(&self.store, &self.user_profiles));
         let fv = normalize_rows(self.tower.forward_tensor(&self.store, &self.item_profiles));
-        fu.matmul_nt(&fv)
+        Some((fu, fv))
     }
 
     fn num_params(&self) -> usize {

@@ -18,7 +18,7 @@ use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor,
 use rand::rngs::StdRng;
 
 use crate::baselines::unified::UnifiedLayout;
-use crate::common::{bpr_loss, dot_score_all, EpochStats, RecModel, TrainConfig};
+use crate::common::{bpr_loss, split_user_item, EpochStats, RecModel, TrainConfig};
 
 const REL_UI: usize = 0;
 const REL_IU: usize = 1;
@@ -207,18 +207,9 @@ impl RecModel for Kgat {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
         let nodes = self.propagate_tensor();
-        let d = self.cfg.dim;
-        let mut ue = Tensor::zeros(self.layout.n_users, d);
-        let mut ve = Tensor::zeros(self.layout.n_items, d);
-        for r in 0..self.layout.n_users {
-            ue.row_mut(r).copy_from_slice(nodes.row(r));
-        }
-        for r in 0..self.layout.n_items {
-            ve.row_mut(r).copy_from_slice(nodes.row(self.layout.n_users + r));
-        }
-        dot_score_all(&ue, &ve, users)
+        Some(split_user_item(&nodes, self.layout.n_users, self.layout.n_items))
     }
 
     fn num_params(&self) -> usize {

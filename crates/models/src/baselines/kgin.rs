@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 
 use imcat_graph::joint_normalized_adjacency;
 
-use crate::common::{bpr_loss, dot_score_all, EmbeddingCore, EpochStats, RecModel, TrainConfig};
+use crate::common::{bpr_loss, EmbeddingCore, EpochStats, RecModel, TrainConfig};
 
 /// Number of latent intents (the paper's KGIN uses 4 by default).
 const INTENTS: usize = 4;
@@ -222,9 +222,8 @@ impl RecModel for Kgin {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        let (u, v) = self.represent_tensor();
-        dot_score_all(&u, &v, users)
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        Some(self.represent_tensor())
     }
 
     fn num_params(&self) -> usize {

@@ -10,7 +10,7 @@ use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor}
 use rand::rngs::StdRng;
 
 use crate::common::{
-    bpr_loss, dedup_ids, dot_score_all, info_nce, propagate_mean, propagate_mean_tensor,
+    bpr_loss, dedup_ids, info_nce, propagate_mean, propagate_mean_tensor, split_user_item,
     EpochStats, RecModel, TrainConfig,
 };
 
@@ -125,19 +125,10 @@ impl RecModel for Sgl {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
         let nodes =
             propagate_mean_tensor(&self.adj, self.store.value(self.node_emb), self.cfg.gnn_layers);
-        let d = self.cfg.dim;
-        let mut ue = Tensor::zeros(self.n_users, d);
-        let mut ve = Tensor::zeros(self.n_items, d);
-        for r in 0..self.n_users {
-            ue.row_mut(r).copy_from_slice(nodes.row(r));
-        }
-        for r in 0..self.n_items {
-            ve.row_mut(r).copy_from_slice(nodes.row(self.n_users + r));
-        }
-        dot_score_all(&ue, &ve, users)
+        Some(split_user_item(&nodes, self.n_users, self.n_items))
     }
 
     fn num_params(&self) -> usize {

@@ -5,9 +5,7 @@ use imcat_data::{BprSampler, SplitDataset};
 use imcat_tensor::{ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 
-use crate::common::{
-    bpr_loss, dot_score_all, Backbone, EmbeddingCore, EpochStats, RecModel, TrainConfig,
-};
+use crate::common::{bpr_loss, Backbone, EmbeddingCore, EpochStats, RecModel, TrainConfig};
 
 /// Matrix-factorization recommender with BPR ranking loss.
 pub struct Bprmf {
@@ -55,12 +53,11 @@ impl RecModel for Bprmf {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        dot_score_all(
-            self.core.store.value(self.core.user_emb),
-            self.core.store.value(self.core.item_emb),
-            users,
-        )
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        Some((
+            self.core.store.value(self.core.user_emb).clone(),
+            self.core.store.value(self.core.item_emb).clone(),
+        ))
     }
 
     fn num_params(&self) -> usize {

@@ -58,9 +58,38 @@ pub trait RecModel {
     /// Runs one epoch of optimization.
     fn train_epoch(&mut self, rng: &mut StdRng) -> EpochStats;
 
+    /// Resolved, gradient-free user/item embedding matrices (`[n_users, d]`,
+    /// `[n_items, d]`) such that user `u`'s relevance for item `j` is exactly
+    /// `user_emb[u] · item_emb[j]` — the frozen inference surface behind both
+    /// [`RecModel::score_users`] and [`RecModel::export_artifact`]. For GNN
+    /// models this runs propagation; for factorization models it is the raw
+    /// tables. Models whose scoring is not a user×item dot product (NeuMF's
+    /// fused MLP head, RippleNet's per-user tag attention) return `None` and
+    /// override [`RecModel::score_users`] instead.
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        None
+    }
+
     /// Full-ranking scores `[users.len(), n_items]` for evaluation
-    /// (training-item masking is the evaluator's job).
-    fn score_users(&self, users: &[u32]) -> Tensor;
+    /// (training-item masking is the evaluator's job). The provided default
+    /// scores against [`RecModel::export_embeddings`]; only models without a
+    /// dot-product decomposition implement this directly.
+    fn score_users(&self, users: &[u32]) -> Tensor {
+        let (user_emb, item_emb) = self.export_embeddings().unwrap_or_else(|| {
+            panic!("{}: implement export_embeddings or override score_users", self.name())
+        });
+        dot_score_all(&user_emb, &item_emb, users)
+    }
+
+    /// Freezes the model into a serving artifact: the resolved embeddings of
+    /// [`RecModel::export_embeddings`] plus each user's sorted training-item
+    /// mask, ready for `imcat-serve`. `None` when the model has no
+    /// dot-product inference surface.
+    fn export_artifact(&self, data: &SplitDataset) -> Option<imcat_ckpt::Artifact> {
+        let (user_emb, item_emb) = self.export_embeddings()?;
+        let masks = (0..data.n_users()).map(|u| data.train_items(u).to_vec()).collect();
+        Some(imcat_ckpt::Artifact::new(self.name(), user_emb, item_emb, masks))
+    }
 
     /// Total scalar parameter count.
     fn num_params(&self) -> usize;
@@ -335,6 +364,22 @@ pub fn dedup_ids(ids: &[u32]) -> Vec<u32> {
     v.sort_unstable();
     v.dedup();
     v
+}
+
+/// Splits a stacked `[n_users + n_items, d]` node matrix (users first) into
+/// separate user and item matrices — the shared epilogue of every GNN model
+/// that propagates over the joint user/item graph.
+pub fn split_user_item(nodes: &Tensor, n_users: usize, n_items: usize) -> (Tensor, Tensor) {
+    let d = nodes.cols();
+    let mut ue = Tensor::zeros(n_users, d);
+    let mut ve = Tensor::zeros(n_items, d);
+    for r in 0..n_users {
+        ue.row_mut(r).copy_from_slice(nodes.row(r));
+    }
+    for r in 0..n_items {
+        ve.row_mut(r).copy_from_slice(nodes.row(n_users + r));
+    }
+    (ue, ve)
 }
 
 /// Dense `[B, n_items]` scores as `users_emb[users] @ items_emb^T` — the

@@ -10,8 +10,7 @@ use imcat_tensor::{xavier_uniform, Adam, Csr, ParamId, ParamStore, Tape, Tensor,
 use rand::rngs::StdRng;
 
 use crate::common::{
-    bpr_loss, dot_score_all, propagate_mean, propagate_mean_tensor, Backbone, EpochStats, RecModel,
-    TrainConfig,
+    bpr_loss, propagate_mean, propagate_mean_tensor, Backbone, EpochStats, RecModel, TrainConfig,
 };
 
 /// LightGCN recommender. One embedding table covers the `n_users + n_items`
@@ -108,9 +107,8 @@ impl RecModel for LightGcn {
         EpochStats { loss: total / batches as f32, batches }
     }
 
-    fn score_users(&self, users: &[u32]) -> Tensor {
-        let (u, v) = self.resolved_embeddings();
-        dot_score_all(&u, &v, users)
+    fn export_embeddings(&self) -> Option<(Tensor, Tensor)> {
+        Some(self.resolved_embeddings())
     }
 
     fn num_params(&self) -> usize {

@@ -1,0 +1,243 @@
+//! Bounded LRU cache of hot users' top-K lists.
+//!
+//! Hand-rolled (the container has no crates.io access): a `HashMap` from key
+//! to slab slot plus an intrusive doubly-linked list over the slab, so both
+//! lookup and eviction are O(1). Capacity 0 disables caching entirely.
+
+use std::collections::HashMap;
+
+use crate::engine::Recommendation;
+
+/// Cache key: one `(user, k)` request shape.
+pub type CacheKey = (u32, usize);
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    value: Vec<Recommendation>,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded least-recently-used cache of recommendation lists with hit/miss
+/// accounting.
+pub struct LruCache {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` lists (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of cached lists.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached lists.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit. Records
+    /// one hit or miss.
+    pub fn get(&mut self, key: CacheKey) -> Option<&[Recommendation]> {
+        match self.map.get(&key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(&self.slab[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks membership without promoting or counting.
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when full. No-op at capacity 0.
+    pub fn put(&mut self, key: CacheKey, value: Vec<Recommendation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        let slot = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot.
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim].key = key;
+            self.slab[victim].value = value;
+            victim
+        } else {
+            self.slab.push(Node { key, value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Drops every entry (hit/miss counters are preserved — they describe
+    /// the engine's lifetime, not one artifact generation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: u32) -> Vec<Recommendation> {
+        vec![Recommendation { item: n, score: n as f32 }]
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = LruCache::new(4);
+        assert!(c.get((1, 10)).is_none());
+        c.put((1, 10), recs(1));
+        assert_eq!(c.get((1, 10)).unwrap()[0].item, 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put((1, 10), recs(1));
+        c.put((2, 10), recs(2));
+        assert!(c.get((1, 10)).is_some()); // 1 is now MRU; 2 is LRU.
+        c.put((3, 10), recs(3));
+        assert!(c.contains((1, 10)));
+        assert!(!c.contains((2, 10)), "LRU entry survived eviction");
+        assert!(c.contains((3, 10)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn same_user_different_k_are_distinct_entries() {
+        let mut c = LruCache::new(4);
+        c.put((7, 5), recs(5));
+        c.put((7, 10), recs(10));
+        assert_eq!(c.get((7, 5)).unwrap()[0].item, 5);
+        assert_eq!(c.get((7, 10)).unwrap()[0].item, 10);
+    }
+
+    #[test]
+    fn replacing_a_key_updates_value_in_place() {
+        let mut c = LruCache::new(2);
+        c.put((1, 10), recs(1));
+        c.put((1, 10), recs(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get((1, 10)).unwrap()[0].item, 9);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put((1, 10), recs(1));
+        assert!(c.get((1, 10)).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut c = LruCache::new(2);
+        c.put((1, 10), recs(1));
+        let _ = c.get((1, 10));
+        let _ = c.get((2, 10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        c.put((1, 10), recs(4));
+        assert_eq!(c.get((1, 10)).unwrap()[0].item, 4);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_map_and_list_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.put((i % 13, (i % 3) as usize), recs(i));
+            let _ = c.get((i % 7, (i % 3) as usize));
+            assert!(c.len() <= 8);
+        }
+    }
+}

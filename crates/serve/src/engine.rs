@@ -1,0 +1,273 @@
+//! The serving engine: frozen-artifact top-K retrieval with an LRU cache,
+//! request batching, and latency accounting.
+//!
+//! ## Parity contract
+//!
+//! A `recommend(user, k)` answer is bit-identical to what the offline
+//! evaluator would rank for that user: scores are the same ascending-index
+//! dot products `imcat_tensor::Tensor::matmul_nt` produces, and the top-K
+//! selection is the evaluator's own `imcat_eval::top_n_masked_with` with the
+//! artifact's training-item mask. The single-request path shards the item
+//! axis over the [`imcat_par`] pool; each item's dot product is a sequential
+//! accumulation, so the result does not depend on `IMCAT_THREADS`.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use imcat_ckpt::Artifact;
+use imcat_eval::{top_n_masked_with, TopKScratch};
+use imcat_obs::Histogram;
+use imcat_tensor::Tensor;
+
+use crate::cache::{CacheKey, LruCache};
+
+/// Serving engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum number of `(user, k)` top-K lists kept hot (0 disables the
+    /// cache).
+    pub cache_capacity: usize,
+    /// Item-axis shard size for the single-request scoring path.
+    pub shard_items: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { cache_capacity: 1024, shard_items: 1024 }
+    }
+}
+
+/// One ranked recommendation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// Item id.
+    pub item: u32,
+    /// Dot-product relevance score.
+    pub score: f32,
+}
+
+/// Aggregate serving statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered (cache hits included).
+    pub served: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Median request latency in seconds (bucket upper bound).
+    pub p50_seconds: f64,
+    /// 95th-percentile request latency in seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile request latency in seconds.
+    pub p99_seconds: f64,
+    /// Mean request latency in seconds.
+    pub mean_seconds: f64,
+    /// Total time spent answering requests (batched requests all account
+    /// the full tick they completed in).
+    pub busy_seconds: f64,
+}
+
+/// Top-K retrieval engine over one frozen [`Artifact`].
+pub struct Engine {
+    artifact: Artifact,
+    cfg: ServeConfig,
+    cache: LruCache,
+    scratch: TopKScratch,
+    latency: Histogram,
+    served: u64,
+}
+
+impl Engine {
+    /// Builds an engine over a validated artifact.
+    pub fn new(artifact: Artifact, cfg: ServeConfig) -> io::Result<Self> {
+        artifact.validate()?;
+        let cache = LruCache::new(cfg.cache_capacity);
+        Ok(Self {
+            artifact,
+            cfg,
+            cache,
+            scratch: TopKScratch::default(),
+            latency: Histogram::default(),
+            served: 0,
+        })
+    }
+
+    /// Loads an artifact from disk (with the container's `.prev` fallback)
+    /// and builds an engine over it.
+    pub fn load(path: impl AsRef<Path>, cfg: ServeConfig) -> io::Result<Self> {
+        Self::new(Artifact::load(path)?, cfg)
+    }
+
+    /// The artifact currently being served.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// Swaps in a new artifact. The cache is cleared so no stale list from
+    /// the previous generation can ever be served; on a validation error the
+    /// old artifact (and cache) stay live.
+    pub fn reload(&mut self, artifact: Artifact) -> io::Result<()> {
+        artifact.validate()?;
+        self.artifact = artifact;
+        self.cache.clear();
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("serve.reloads", 1);
+        }
+        Ok(())
+    }
+
+    /// Number of users the current artifact can serve.
+    pub fn n_users(&self) -> usize {
+        self.artifact.n_users()
+    }
+
+    /// Catalogue size of the current artifact.
+    pub fn n_items(&self) -> usize {
+        self.artifact.n_items()
+    }
+
+    /// Scores every item for `user`, sharding the item axis over the thread
+    /// pool. Element `j` is the same ascending-index accumulation
+    /// `matmul_nt` computes, so the row is bit-identical to the evaluator's
+    /// score row at any thread count.
+    fn score_user(&self, user: u32) -> Vec<f32> {
+        let u_row = self.artifact.user_emb.row(user as usize);
+        let items = &self.artifact.item_emb;
+        let mut scores = vec![0.0f32; items.rows()];
+        let shard = self.cfg.shard_items.max(1);
+        imcat_par::global().parallel_chunks_mut(&mut scores, shard, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let i_row = items.row(ci * shard + off);
+                let mut acc = 0.0f32;
+                for (&a, &b) in u_row.iter().zip(i_row) {
+                    acc += a * b;
+                }
+                *slot = acc;
+            }
+        });
+        scores
+    }
+
+    fn top_k(&mut self, user: u32, k: usize, scores: &[f32]) -> Vec<Recommendation> {
+        let mask = &self.artifact.masks[user as usize];
+        let top = top_n_masked_with(scores, mask, k, &mut self.scratch);
+        top.iter().map(|&j| Recommendation { item: j, score: scores[j as usize] }).collect()
+    }
+
+    fn account(&mut self, requests: u64, seconds: f64) {
+        self.served += requests;
+        for _ in 0..requests {
+            self.latency.record(seconds);
+        }
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("serve.requests", requests);
+            imcat_obs::observe("serve.request.seconds", seconds);
+        }
+    }
+
+    /// Answers one request: the top `k` unseen items for `user`, best first.
+    pub fn recommend(&mut self, user: u32, k: usize) -> Vec<Recommendation> {
+        assert!(
+            (user as usize) < self.artifact.n_users(),
+            "user {user} out of range (artifact has {} users)",
+            self.artifact.n_users()
+        );
+        let t0 = Instant::now();
+        if let Some(cached) = self.cache.get((user, k)) {
+            let out = cached.to_vec();
+            self.account(1, t0.elapsed().as_secs_f64());
+            return out;
+        }
+        let scores = self.score_user(user);
+        let out = self.top_k(user, k, &scores);
+        self.cache.put((user, k), out.clone());
+        self.account(1, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Answers a tick's worth of concurrent requests. Cache misses are
+    /// deduplicated and scored with a *single* `matmul_nt` over the unique
+    /// miss users, then ranked per row; results land in the cache before the
+    /// tick returns. Output order matches `requests`, and every list is
+    /// bit-identical to what [`Engine::recommend`] returns for the same
+    /// request.
+    pub fn recommend_batch(&mut self, requests: &[(u32, usize)]) -> Vec<Vec<Recommendation>> {
+        let t0 = Instant::now();
+        let mut outputs: Vec<Option<Vec<Recommendation>>> = Vec::with_capacity(requests.len());
+        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        let mut miss_index: HashMap<CacheKey, usize> = HashMap::new();
+        for &(user, k) in requests {
+            assert!(
+                (user as usize) < self.artifact.n_users(),
+                "user {user} out of range (artifact has {} users)",
+                self.artifact.n_users()
+            );
+            if let Some(cached) = self.cache.get((user, k)) {
+                outputs.push(Some(cached.to_vec()));
+            } else {
+                outputs.push(None);
+                if let Entry::Vacant(slot) = miss_index.entry((user, k)) {
+                    slot.insert(miss_keys.len());
+                    miss_keys.push((user, k));
+                }
+            }
+        }
+        if !miss_keys.is_empty() {
+            // One scoring matmul for the whole tick: one row per unique miss
+            // user (a user requested at two cutoffs shares a row).
+            let mut users: Vec<u32> = miss_keys.iter().map(|&(u, _)| u).collect();
+            users.sort_unstable();
+            users.dedup();
+            let row_of: HashMap<u32, usize> =
+                users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+            let mut sel = Tensor::zeros(users.len(), self.artifact.dim());
+            for (i, &u) in users.iter().enumerate() {
+                sel.row_mut(i).copy_from_slice(self.artifact.user_emb.row(u as usize));
+            }
+            let scores = sel.matmul_nt(&self.artifact.item_emb);
+            let mut fresh: Vec<Vec<Recommendation>> = Vec::with_capacity(miss_keys.len());
+            for &(user, k) in &miss_keys {
+                let row = scores.row(row_of[&user]);
+                let recs = self.top_k(user, k, row);
+                self.cache.put((user, k), recs.clone());
+                fresh.push(recs);
+            }
+            for (slot, &(user, k)) in outputs.iter_mut().zip(requests) {
+                if slot.is_none() {
+                    *slot = Some(fresh[miss_index[&(user, k)]].clone());
+                }
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        self.account(requests.len() as u64, dt);
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("serve.ticks", 1);
+            imcat_obs::observe("serve.tick.seconds", dt);
+        }
+        outputs.into_iter().map(|o| o.expect("every request answered")).collect()
+    }
+
+    /// Lifetime serving statistics (latency quantiles are log-bucket upper
+    /// bounds, matching `imcat-obs` histograms).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.served,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            p50_seconds: self.latency.quantile(0.50),
+            p95_seconds: self.latency.quantile(0.95),
+            p99_seconds: self.latency.quantile(0.99),
+            mean_seconds: self.latency.mean(),
+            busy_seconds: self.latency.sum,
+        }
+    }
+
+    /// Number of currently cached top-K lists.
+    pub fn cached_lists(&self) -> usize {
+        self.cache.len()
+    }
+}

@@ -1,0 +1,26 @@
+//! # imcat-serve
+//!
+//! A CPU top-K recommendation serving engine for the IMCAT reproduction.
+//!
+//! Training ends with [`imcat_ckpt::Artifact`] — resolved post-propagation
+//! user/item embeddings plus each user's training-item mask, frozen into the
+//! crash-safe `imcat-ckpt` container by the trainer at every best-validation
+//! epoch. This crate answers `recommend(user, k)` requests against that
+//! artifact without touching the tape, autodiff, or optimizer:
+//!
+//! * **Parity** — answers are bit-identical to the offline evaluator's
+//!   masked top-K ranking at any `IMCAT_THREADS` setting.
+//! * **Caching** — a bounded LRU keeps hot users' lists with hit/miss
+//!   accounting.
+//! * **Batching** — a tick of concurrent requests costs one `matmul_nt`.
+//! * **Telemetry** — request latency histograms (p50/p95/p99) and counters
+//!   flow through `imcat-obs`.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+
+pub use cache::LruCache;
+pub use engine::{Engine, Recommendation, ServeConfig, ServeStats};
+pub use imcat_ckpt::Artifact;

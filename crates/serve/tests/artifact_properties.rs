@@ -1,0 +1,129 @@
+//! Property-based tests for the inference artifact: arbitrary embeddings and
+//! masks roundtrip through the container bit-exactly, while truncated or
+//! corrupted containers are rejected outright — a load either yields a fully
+//! validated artifact or nothing.
+
+use imcat_ckpt::Checkpoint;
+use imcat_serve::{Artifact, Engine, ServeConfig};
+use imcat_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A finite-valued tensor drawn from raw bits (validation rejects NaN/inf,
+/// so map everything into a finite range while keeping full mantissa churn).
+fn finite_tensor(rows: usize, cols: usize, gen: &mut Gen) -> Tensor {
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                let raw = f32::from_bits(gen.next_u64() as u32);
+                if raw.is_finite() {
+                    raw.clamp(-1e30, 1e30)
+                } else {
+                    gen.below(1000) as f32
+                }
+            })
+            .collect(),
+    )
+}
+
+fn arbitrary_artifact(seed: u64) -> Artifact {
+    let mut gen = Gen::new(seed);
+    let n_users = 1 + gen.below(6) as usize;
+    let n_items = 2 + gen.below(10) as usize;
+    let d = 1 + gen.below(5) as usize;
+    let masks = (0..n_users)
+        .map(|_| {
+            let mut m: Vec<u32> = (0..n_items as u32).filter(|_| gen.below(3) == 0).collect();
+            m.truncate(n_items - 1); // leave at least one unmasked item
+            m
+        })
+        .collect();
+    Artifact::new(
+        "prop-model",
+        finite_tensor(n_users, d, &mut gen),
+        finite_tensor(n_items, d, &mut gen),
+        masks,
+    )
+}
+
+fn assert_artifacts_bit_equal(a: &Artifact, b: &Artifact) {
+    assert_eq!(a.model, b.model);
+    assert_eq!(a.masks, b.masks);
+    assert_eq!(a.user_emb.shape(), b.user_emb.shape());
+    assert_eq!(a.item_emb.shape(), b.item_emb.shape());
+    for (x, y) in a.user_emb.as_slice().iter().zip(b.user_emb.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in a.item_emb.as_slice().iter().zip(b.item_emb.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arbitrary artifacts survive the container roundtrip bit-exactly.
+    #[test]
+    fn roundtrip_is_bit_exact(seed in 0u64..1_000_000) {
+        let art = arbitrary_artifact(seed);
+        let bytes = art.to_checkpoint().to_bytes();
+        let back = Artifact::from_checkpoint(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+        assert_artifacts_bit_equal(&art, &back);
+    }
+
+    /// Any strict truncation and any single-byte corruption of the container
+    /// is rejected; the engine never sees a partially decoded artifact.
+    #[test]
+    fn truncation_and_corruption_are_rejected(seed in 0u64..1_000_000) {
+        let art = arbitrary_artifact(seed);
+        let bytes = art.to_checkpoint().to_bytes();
+        let mut gen = Gen::new(seed ^ 0xfeed);
+
+        let cut = gen.below(bytes.len() as u64) as usize;
+        prop_assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+
+        let mut flipped = bytes.clone();
+        let at = gen.below(bytes.len() as u64) as usize;
+        flipped[at] ^= 1 + gen.below(255) as u8;
+        prop_assert!(Checkpoint::from_bytes(&flipped).is_err(), "byte flip at {at} accepted");
+    }
+
+    /// A structurally valid container whose *content* breaks the artifact
+    /// invariants (mask out of range) decodes as an error, not an artifact.
+    #[test]
+    fn semantic_corruption_is_rejected(seed in 0u64..1_000_000) {
+        let mut art = arbitrary_artifact(seed);
+        art.masks[0] = vec![art.n_items() as u32]; // out of range
+        let bytes = art.to_checkpoint().to_bytes();
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        prop_assert!(Artifact::from_checkpoint(&ck).is_err());
+        prop_assert!(Engine::new(art, ServeConfig::default()).is_err());
+    }
+
+    /// Disk roundtrip (atomic save + load) is also bit-exact, and a
+    /// truncated file on disk is rejected.
+    #[test]
+    fn disk_roundtrip_and_truncated_file(seed in 0u64..10_000) {
+        let art = arbitrary_artifact(seed);
+        let dir = std::env::temp_dir().join(format!("imcat-serve-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("a{seed}.artifact"));
+        let written = art.save(&path).unwrap();
+        let back = Artifact::load(&path).unwrap();
+        assert_artifacts_bit_equal(&art, &back);
+
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert_eq!(bytes.len() as u64, written);
+        let mut gen = Gen::new(seed ^ 0xc0de);
+        let cut = gen.below(bytes.len() as u64) as usize;
+        // Overwrite with a truncation and remove the .prev fallback so the
+        // load must fail rather than silently recover.
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut prev = path.clone().into_os_string();
+        prev.push(".prev");
+        std::fs::remove_file(std::path::PathBuf::from(prev)).ok();
+        prop_assert!(Artifact::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -12,7 +12,7 @@ fn train_and_test(model: &mut dyn RecModel, split: &SplitDataset) -> (f64, usize
     let cfg = TrainerConfig { max_epochs: 80, eval_every: 10, patience: 3, ..Default::default() };
     let report = trainer::train(model, split, &cfg);
     let mut score_fn = |users: &[u32]| model.score_users(users);
-    let m = evaluate(&mut score_fn, split, 20, EvalTarget::Test);
+    let m = evaluate(&mut score_fn, split, &EvalSpec::at(20));
     (m.recall, report.epochs_run, report.train_seconds)
 }
 

@@ -27,7 +27,7 @@ fn main() {
     let mut lightgcn = LightGcn::new(&split, TrainConfig::default(), &mut rng);
     let r1 = trainer::train(&mut lightgcn, &split, &trainer_cfg);
     let mut s1 = |users: &[u32]| lightgcn.score_users(users);
-    let all1 = evaluate(&mut s1, &split, 20, EvalTarget::Test);
+    let all1 = evaluate(&mut s1, &split, &EvalSpec::at(20));
     let cold1 = evaluate_user_subset(&mut s1, &split, 20, &cold).aggregate();
 
     // L-IMCAT.
@@ -40,7 +40,7 @@ fn main() {
     );
     let r2 = trainer::train(&mut limcat, &split, &trainer_cfg);
     let mut s2 = |users: &[u32]| limcat.score_users(users);
-    let all2 = evaluate(&mut s2, &split, 20, EvalTarget::Test);
+    let all2 = evaluate(&mut s2, &split, &EvalSpec::at(20));
     let cold2 = evaluate_user_subset(&mut s2, &split, 20, &cold).aggregate();
 
     println!("{:<10} {:>14} {:>14} {:>8}", "model", "R@20 (all)", "R@20 (cold)", "epochs");

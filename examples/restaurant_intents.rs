@@ -150,6 +150,6 @@ fn main() {
 
     // Final quality check.
     let mut score_fn = |users: &[u32]| model.score_users(users);
-    let test = evaluate(&mut score_fn, &split, 20, EvalTarget::Test);
+    let test = evaluate(&mut score_fn, &split, &EvalSpec::at(20));
     println!("\ntest Recall@20 = {:.4}", test.recall);
 }

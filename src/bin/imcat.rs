@@ -18,7 +18,7 @@ use imcat::core::{trainer, Imcat, ImcatConfig};
 use imcat::data::{
     generate, load_dataset, save_dataset, Dataset, FilterConfig, SplitDataset, SynthConfig,
 };
-use imcat::eval::{evaluate, evaluate_extended, top_n_masked, EvalTarget};
+use imcat::eval::{evaluate, evaluate_extended, top_n_masked, EvalSpec};
 use imcat::models::{Backbone, Bprmf, EpochStats, LightGcn, Neumf, RecModel, TrainConfig};
 use imcat::tensor::{load_params_from, restore_into, save_params_to, Tensor};
 use rand::rngs::StdRng;
@@ -271,8 +271,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         report.model, report.epochs_run, report.train_seconds, report.best_val_recall
     );
     let mut score_fn = |users: &[u32]| model.score_users(users);
-    let m = evaluate(&mut score_fn, &split, 20, EvalTarget::Test);
-    let ext = evaluate_extended(&mut score_fn, &split, 20, EvalTarget::Test);
+    let m = evaluate(&mut score_fn, &split, &EvalSpec::at(20));
+    let ext = evaluate_extended(&mut score_fn, &split, &EvalSpec::at(20));
     println!(
         "test  R@20 {:.4}  N@20 {:.4}  P@20 {:.4}  MAP {:.4}  MRR {:.4}  coverage {:.3}  diversity {:.3}",
         m.recall,
