@@ -1,0 +1,543 @@
+//! IVF-Flat index with exact re-rank.
+//!
+//! Top-K retrieval is *maximum inner product* search, and k-means is an L2
+//! quantizer, so the index first applies the standard MIPS-to-L2 reduction
+//! (Bachrach et al., 2014): each item `x` is augmented to
+//! `[x, sqrt(Φ² − ‖x‖²)]` with `Φ = max_i ‖x_i‖`, and the query to
+//! `[q, 0]`. In the augmented space
+//! `‖q̃ − x̃‖² = ‖q‖² + Φ² − 2·(q·x)` — monotone decreasing in the inner
+//! product — so nearest-centroid clustering and probe ranking are both
+//! geometry-correct for dot-product scoring, norms included.
+//!
+//! The index partitions the augmented item matrix into `nlist` inverted
+//! lists by nearest k-means centroid (the same shared k-means the intent
+//! module uses, see [`crate::kmeans`]). A query probes the `nprobe`
+//! centroids closest (augmented L2) to the user embedding, scans only their
+//! lists, and scores every surviving candidate **exactly** with the same
+//! sequential dot-product accumulation the brute-force path uses.
+//! Candidates come back as a compact, ascending-id slice plus a remapped
+//! mask, so the caller can re-rank through the evaluator's own
+//! `top_n_masked_with` selection: when every item is a candidate
+//! (`nprobe == nlist`) the compact arrays *are* the brute-force arrays and
+//! the output is bit-identical, tie order included.
+//!
+//! An optional int8 scalar-quantized list storage (`AnnConfig::quantized`)
+//! scans candidates through per-item-scaled i8 codes (4x smaller memory
+//! traffic for memory-bound catalogs), shortlists by approximate score, and
+//! then re-scores the shortlist from f32 — quantization can only affect
+//! which candidates survive the shortlist, never the final ordering of the
+//! returned list.
+
+use std::io;
+
+use imcat_ckpt::{Checkpoint, Decoder, Encoder};
+use imcat_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kmeans::{assign_nearest, kmeans_centers};
+
+/// Section holding the index geometry, build seed, and storage flavor.
+pub const SEC_ANN_META: &str = "ann.meta";
+/// Section holding the `[nlist, d+1]` coarse-quantizer centroids (trained
+/// in the MIPS-augmented space, hence the extra column).
+pub const SEC_ANN_CENTROIDS: &str = "ann.centroids";
+/// Section holding the inverted lists (offsets + item-id entries).
+pub const SEC_ANN_LISTS: &str = "ann.lists";
+/// Section holding the optional int8 codes and per-item scales.
+pub const SEC_ANN_CODES: &str = "ann.codes";
+
+/// Index format version inside [`SEC_ANN_META`].
+const ANN_VERSION: u32 = 1;
+/// Lloyd iterations used when training the coarse quantizer.
+const BUILD_ITERS: usize = 10;
+/// Candidates per parallel exact-scoring chunk.
+const SCORE_GRAIN: usize = 256;
+/// Default RNG seed for index builds: fixed so a rebuild from the same
+/// embedding matrix is bit-identical across processes and machines.
+pub const DEFAULT_BUILD_SEED: u64 = 0x1517_ACE5;
+
+/// ANN retrieval configuration.
+///
+/// `nlist` and `nprobe` of `0` mean "auto": `nlist` defaults to roughly
+/// `2·√n_items` (finer partitions than the classic `√n` rule, which at these
+/// catalog scales buys a better recall/latency frontier), and `nprobe` to
+/// `nlist / 8` — the knee of the measured recall/QPS frontier on the largest
+/// synthetic catalog (recall@10 ≈ 0.97 at ≈ 5× brute-force QPS; see
+/// EXPERIMENTS.md). Raise `nprobe` for recall, lower it for speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Number of inverted lists (0 = auto).
+    pub nlist: usize,
+    /// Lists probed per query (0 = auto). Query-time only: sweeping `nprobe`
+    /// reuses one index.
+    pub nprobe: usize,
+    /// Store int8 scalar-quantized list codes and shortlist through them
+    /// before the exact f32 re-rank.
+    pub quantized: bool,
+}
+
+impl AnnConfig {
+    /// The list count this configuration resolves to for an `n_items`
+    /// catalog (auto: `~2·√n_items`, clamped to `[1, n_items]`).
+    pub fn resolved_nlist(&self, n_items: usize) -> usize {
+        let raw = if self.nlist > 0 {
+            self.nlist
+        } else {
+            (2.0 * (n_items.max(1) as f64).sqrt()).round() as usize
+        };
+        raw.clamp(1, n_items.max(1))
+    }
+
+    /// The probe count this configuration resolves to (auto: `nlist / 8`,
+    /// minimum 1, clamped to the resolved `nlist`).
+    pub fn resolved_nprobe(&self, n_items: usize) -> usize {
+        let nlist = self.resolved_nlist(n_items);
+        let raw = if self.nprobe > 0 { self.nprobe } else { (nlist / 8).max(1) };
+        raw.clamp(1, nlist)
+    }
+}
+
+/// Reusable probe buffers plus the compact result of the last probe. One
+/// scratch per engine serializes per-query allocation away; reuse never
+/// changes results (every buffer is fully overwritten per probe).
+#[derive(Default)]
+pub struct ProbeScratch {
+    /// `(score, centroid)` ranking buffer.
+    order: Vec<(f32, u32)>,
+    /// Candidate item ids, ascending — the compact index space.
+    cand: Vec<u32>,
+    /// Entry positions aligned with `cand` while shortlisting (quantized).
+    approx: Vec<(f32, u32, u32)>,
+    /// Exact scores aligned with `cand`.
+    scores: Vec<f32>,
+    /// The caller's mask remapped into compact candidate indices.
+    mask: Vec<u32>,
+}
+
+impl ProbeScratch {
+    /// Candidate item ids of the last probe, ascending.
+    pub fn candidates(&self) -> &[u32] {
+        &self.cand
+    }
+
+    /// Exact dot-product scores aligned with [`ProbeScratch::candidates`].
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// The query mask remapped to compact candidate indices (ascending).
+    pub fn mask(&self) -> &[u32] {
+        &self.mask
+    }
+}
+
+/// An IVF-Flat index over one frozen item-embedding matrix.
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    dim: usize,
+    n_items: usize,
+    seed: u64,
+    quantized: bool,
+    /// `[nlist, dim + 1]` coarse-quantizer centroids in the MIPS-augmented
+    /// space (last column is the norm-completion coordinate).
+    centroids: Tensor,
+    /// `nlist + 1` prefix offsets into `entries`.
+    offsets: Vec<u32>,
+    /// Item ids, grouped by list, ascending within each list. The lists
+    /// partition `0..n_items`: every id appears exactly once.
+    entries: Vec<u32>,
+    /// Int8 codes aligned with `entries` (`entries.len() * dim`), empty when
+    /// not quantized.
+    codes: Vec<i8>,
+    /// Per-entry dequantization scales, empty when not quantized.
+    scales: Vec<f32>,
+}
+
+impl IvfIndex {
+    /// Trains the coarse quantizer and buckets every item. Deterministic: the
+    /// same `(items, cfg, seed)` produces a bit-identical index at any
+    /// `IMCAT_THREADS` setting.
+    pub fn build(items: &Tensor, cfg: &AnnConfig, seed: u64) -> Self {
+        let sp = imcat_obs::span("ann.build.seconds");
+        let (n_items, dim) = items.shape();
+        assert!(n_items > 0, "cannot index an empty catalog");
+        let nlist = cfg.resolved_nlist(n_items);
+        // MIPS-to-L2 augmentation: [x, sqrt(Φ² − ‖x‖²)] equalizes norms so
+        // L2 k-means clusters by inner-product relevance, not just
+        // direction. Norms accumulate in f64: squared f32 magnitudes can
+        // overflow f32 while their square roots are still representable.
+        let norms2: Vec<f64> =
+            (0..n_items).map(|i| items.row(i).iter().map(|&x| x as f64 * x as f64).sum()).collect();
+        let max2 = norms2.iter().fold(0f64, |m, &v| m.max(v));
+        let mut aug = Tensor::zeros(n_items, dim + 1);
+        for (i, &n2) in norms2.iter().enumerate() {
+            aug.row_mut(i)[..dim].copy_from_slice(items.row(i));
+            aug.row_mut(i)[dim] = (max2 - n2).max(0.0).sqrt() as f32;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centroids = kmeans_centers(&aug, nlist, BUILD_ITERS, &mut rng);
+        let assign = assign_nearest(&aug, &centroids);
+        let mut counts = vec![0u32; nlist];
+        for &a in &assign {
+            counts[a] += 1;
+        }
+        let mut offsets = Vec::with_capacity(nlist + 1);
+        offsets.push(0u32);
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut cursor: Vec<u32> = offsets[..nlist].to_vec();
+        let mut entries = vec![0u32; n_items];
+        // Ascending item order per list falls out of the ascending scan.
+        for (i, &a) in assign.iter().enumerate() {
+            entries[cursor[a] as usize] = i as u32;
+            cursor[a] += 1;
+        }
+        let (codes, scales) = if cfg.quantized {
+            let mut codes = vec![0i8; n_items * dim];
+            let mut scales = vec![0f32; n_items];
+            for (pos, &id) in entries.iter().enumerate() {
+                let row = items.row(id as usize);
+                let max_abs = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
+                let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+                scales[pos] = scale;
+                if scale > 0.0 {
+                    for (c, &x) in codes[pos * dim..(pos + 1) * dim].iter_mut().zip(row) {
+                        *c = (x / scale).round().clamp(-127.0, 127.0) as i8;
+                    }
+                }
+            }
+            (codes, scales)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        drop(sp);
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ann.builds", 1);
+        }
+        Self {
+            dim,
+            n_items,
+            seed,
+            quantized: cfg.quantized,
+            centroids,
+            offsets,
+            entries,
+            codes,
+            scales,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Catalog size the index was built over.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Embedding dimension the index was built over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the lists carry int8 scalar-quantized codes.
+    pub fn quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// The build seed (part of the identity checked by
+    /// [`IvfIndex::matches`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when this index is exactly what [`IvfIndex::build`] would produce
+    /// for `cfg` over an `n_items`-catalog with `seed` — the staleness check
+    /// used when deciding whether a persisted index can be reused.
+    pub fn matches(&self, cfg: &AnnConfig, n_items: usize, dim: usize, seed: u64) -> bool {
+        self.n_items == n_items
+            && self.dim == dim
+            && self.seed == seed
+            && self.quantized == cfg.quantized
+            && self.nlist() == cfg.resolved_nlist(n_items)
+    }
+
+    /// Probes the `nprobe` best lists for `query` and scores every candidate
+    /// exactly against `items` (the f32 matrix the index was built from),
+    /// leaving a compact ascending-id candidate set, exact scores, and the
+    /// remapped `mask` in `scratch`.
+    ///
+    /// Candidate scoring uses the identical per-item sequential accumulation
+    /// as brute force and fans out over the `imcat-par` pool bit-identically.
+    /// With `nprobe >= nlist` the compact arrays equal the full brute-force
+    /// score row and mask, so downstream `top_n_masked_with` selection is
+    /// bit-identical, tie order included.
+    pub fn probe(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        assert_eq!(items.shape(), (self.n_items, self.dim), "item matrix mismatch");
+        let sp = imcat_obs::span("ann.probe.seconds");
+        let nprobe = nprobe.clamp(1, self.nlist());
+        // Rank centroids by L2 distance to the augmented query `[q, 0]`
+        // (ascending, ties to lower id) — in the augmented space, closer
+        // means higher attainable inner product.
+        scratch.order.clear();
+        for c in 0..self.nlist() {
+            let crow = self.centroids.row(c);
+            let mut acc = 0.0f32;
+            for (&a, &b) in query.iter().zip(crow) {
+                acc += (a - b) * (a - b);
+            }
+            let tail = crow[self.dim];
+            acc += tail * tail;
+            scratch.order.push((acc, c as u32));
+        }
+        scratch.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Gather candidate entries from the probed lists.
+        scratch.cand.clear();
+        scratch.approx.clear();
+        for &(_, c) in scratch.order.iter().take(nprobe) {
+            let lo = self.offsets[c as usize] as usize;
+            let hi = self.offsets[c as usize + 1] as usize;
+            if self.quantized {
+                for pos in lo..hi {
+                    let id = self.entries[pos];
+                    let mut acc = 0.0f32;
+                    for (&code, &q) in
+                        self.codes[pos * self.dim..(pos + 1) * self.dim].iter().zip(query)
+                    {
+                        acc += code as f32 * q;
+                    }
+                    scratch.approx.push((self.scales[pos] * acc, id, pos as u32));
+                }
+            } else {
+                scratch.cand.extend_from_slice(&self.entries[lo..hi]);
+            }
+        }
+        if self.quantized {
+            // Shortlist by approximate score (descending, ties to lower id),
+            // sized so the exact re-rank still has k unmasked survivors with
+            // margin; the final ordering comes from exact f32 scores only.
+            let masked = scratch
+                .approx
+                .iter()
+                .filter(|&&(_, id, _)| mask.binary_search(&id).is_ok())
+                .count();
+            let shortlist = (4 * k + masked + 32).min(scratch.approx.len());
+            if shortlist > 0 && shortlist < scratch.approx.len() {
+                scratch.approx.select_nth_unstable_by(shortlist - 1, |a, b| {
+                    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+                });
+                scratch.approx.truncate(shortlist);
+            }
+            scratch.cand.extend(scratch.approx.iter().map(|&(_, id, _)| id));
+        }
+        // Compact index space: ascending item ids (lists are disjoint, so no
+        // duplicates). When every list is probed this is exactly 0..n_items.
+        scratch.cand.sort_unstable();
+
+        // Exact f32 scores, same sequential per-item accumulation as brute
+        // force, sharded over the pool (each slot is one candidate).
+        scratch.scores.clear();
+        scratch.scores.resize(scratch.cand.len(), 0.0);
+        let cand = &scratch.cand;
+        imcat_par::global().parallel_chunks_mut(&mut scratch.scores, SCORE_GRAIN, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let id = cand[ci * SCORE_GRAIN + off] as usize;
+                let mut acc = 0.0f32;
+                for (&a, &b) in query.iter().zip(items.row(id)) {
+                    acc += a * b;
+                }
+                *slot = acc;
+            }
+        });
+
+        // Remap the (ascending) mask into compact candidate indices.
+        scratch.mask.clear();
+        let mut m = 0usize;
+        for (ci, &id) in scratch.cand.iter().enumerate() {
+            while m < mask.len() && mask[m] < id {
+                m += 1;
+            }
+            if m < mask.len() && mask[m] == id {
+                scratch.mask.push(ci as u32);
+            }
+        }
+        drop(sp);
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ann.probes", 1);
+            imcat_obs::observe("ann.candidates", scratch.cand.len() as f64);
+        }
+    }
+
+    /// Structural validation mirroring `Artifact::validate`: consistent
+    /// shapes, finite centroids, offsets that tile `entries`, lists that are
+    /// strictly increasing and partition `0..n_items`, and quantization
+    /// arrays sized and finite. Decode goes through this, so an index that
+    /// loads is an index the engine can trust blindly.
+    pub fn validate(&self) -> io::Result<()> {
+        let nlist = self.centroids.rows();
+        if nlist == 0 || self.centroids.cols() != self.dim + 1 {
+            return Err(bad(format!(
+                "index centroids shape {:?} invalid for dim {} (+1 augmented)",
+                self.centroids.shape(),
+                self.dim
+            )));
+        }
+        if self.centroids.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(bad("index centroids contain nonfinite values"));
+        }
+        if self.offsets.len() != nlist + 1
+            || self.offsets[0] != 0
+            || *self.offsets.last().unwrap() as usize != self.entries.len()
+        {
+            return Err(bad("index offsets do not tile the entry array"));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("index offsets are not monotone"));
+        }
+        if self.entries.len() != self.n_items {
+            return Err(bad(format!(
+                "index holds {} entries for {} items",
+                self.entries.len(),
+                self.n_items
+            )));
+        }
+        let mut seen = vec![false; self.n_items];
+        for w in self.offsets.windows(2) {
+            let list = &self.entries[w[0] as usize..w[1] as usize];
+            if !list.windows(2).all(|p| p[0] < p[1]) {
+                return Err(bad("an inverted list is not strictly increasing"));
+            }
+            for &id in list {
+                let slot = seen
+                    .get_mut(id as usize)
+                    .ok_or_else(|| bad(format!("list entry {id} out of range")))?;
+                if *slot {
+                    return Err(bad(format!("item {id} appears in two lists")));
+                }
+                *slot = true;
+            }
+        }
+        // entries.len() == n_items and no duplicates => full coverage.
+        if self.quantized {
+            if self.codes.len() != self.n_items * self.dim {
+                return Err(bad("quantized codes length mismatch"));
+            }
+            if self.scales.len() != self.n_items {
+                return Err(bad("quantization scales length mismatch"));
+            }
+            if self.scales.iter().any(|s| !s.is_finite() || *s < 0.0) {
+                return Err(bad("quantization scales must be finite and non-negative"));
+            }
+        } else if !self.codes.is_empty() || !self.scales.is_empty() {
+            return Err(bad("non-quantized index carries quantization arrays"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the index into named `ann.*` sections of `ck`, alongside
+    /// whatever (artifact) sections it already holds.
+    pub fn add_to_checkpoint(&self, ck: &mut Checkpoint) {
+        let mut meta = Encoder::new();
+        meta.put_u32(ANN_VERSION);
+        meta.put_u64(self.seed);
+        meta.put_u64(self.nlist() as u64);
+        meta.put_u64(self.dim as u64);
+        meta.put_u64(self.n_items as u64);
+        meta.put_u32(self.quantized as u32);
+        ck.insert(SEC_ANN_META, meta.into_bytes());
+        let mut ce = Encoder::new();
+        ce.put_tensor(&self.centroids);
+        ck.insert(SEC_ANN_CENTROIDS, ce.into_bytes());
+        let mut le = Encoder::new();
+        le.put_u32s(&self.offsets);
+        le.put_u32s(&self.entries);
+        ck.insert(SEC_ANN_LISTS, le.into_bytes());
+        if self.quantized {
+            let mut qe = Encoder::new();
+            let raw: Vec<u8> = self.codes.iter().map(|&c| c as u8).collect();
+            qe.put_bytes(&raw);
+            qe.put_u64(self.scales.len() as u64);
+            for &s in &self.scales {
+                qe.put_f32(s);
+            }
+            ck.insert(SEC_ANN_CODES, qe.into_bytes());
+        }
+    }
+
+    /// Decodes and validates the `ann.*` sections of `ck`. `Ok(None)` when
+    /// the container carries no index; any malformed, truncated, or
+    /// semantically invalid section is an error — nothing partial escapes.
+    pub fn from_checkpoint(ck: &Checkpoint) -> io::Result<Option<Self>> {
+        let Some(meta_bytes) = ck.get(SEC_ANN_META) else {
+            return Ok(None);
+        };
+        let mut meta = Decoder::new(meta_bytes);
+        let version = meta.u32()?;
+        if version != ANN_VERSION {
+            return Err(bad(format!("unsupported ann index version {version}")));
+        }
+        let seed = meta.u64()?;
+        let nlist = meta.u64()? as usize;
+        let dim = meta.u64()? as usize;
+        let n_items = meta.u64()? as usize;
+        let quantized = match meta.u32()? {
+            0 => false,
+            1 => true,
+            v => return Err(bad(format!("invalid quantized flag {v}"))),
+        };
+        meta.finish()?;
+        let mut ce = Decoder::new(ck.require(SEC_ANN_CENTROIDS)?);
+        let centroids = ce.tensor()?;
+        ce.finish()?;
+        if centroids.shape() != (nlist, dim + 1) {
+            return Err(bad(format!(
+                "index centroid shape {:?} contradicts meta ({nlist}, {} augmented)",
+                centroids.shape(),
+                dim + 1
+            )));
+        }
+        let mut le = Decoder::new(ck.require(SEC_ANN_LISTS)?);
+        let offsets = le.u32s()?;
+        let entries = le.u32s()?;
+        le.finish()?;
+        let (codes, scales) = if quantized {
+            let mut qe = Decoder::new(ck.require(SEC_ANN_CODES)?);
+            let codes: Vec<i8> = qe.bytes()?.iter().map(|&b| b as i8).collect();
+            let n = qe.u64()? as usize;
+            // Overflow-proof form of `4 * n > remaining` (scales are 4-byte f32s).
+            if n > qe.remaining() / 4 {
+                return Err(bad("quantization scales exceed remaining section bytes"));
+            }
+            let mut scales = Vec::with_capacity(n);
+            for _ in 0..n {
+                scales.push(qe.f32()?);
+            }
+            qe.finish()?;
+            (codes, scales)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let idx =
+            Self { dim, n_items, seed, quantized, centroids, offsets, entries, codes, scales };
+        idx.validate()?;
+        Ok(Some(idx))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}

@@ -1,0 +1,197 @@
+//! Shared deterministic Lloyd k-means.
+//!
+//! This is the *single* k-means implementation in the workspace: IMCAT's
+//! Intent Representation Module seeds its learnable cluster centers with it
+//! (`imcat_core::irm::kmeans_centers` delegates here), and the IVF index uses
+//! it as its coarse quantizer over item embeddings. Keeping one routine means
+//! the intent machinery and the retrieval machinery can never drift apart.
+//!
+//! ## Determinism
+//!
+//! The assignment step fans out over the `imcat-par` pool, but every point's
+//! nearest-center computation is an independent, serially-accumulated
+//! reduction written to that point's own slot, and the update step folds
+//! points in ascending index order on one thread. Centroids are therefore
+//! **bit-identical at any `IMCAT_THREADS` setting** — the same discipline as
+//! every other parallel hot path in the workspace (asserted by
+//! `crates/ann/tests/determinism.rs`).
+
+use imcat_tensor::Tensor;
+use rand::Rng;
+
+/// Points per parallel assignment chunk. Chunk boundaries depend only on the
+/// point count, never the thread count, so results are reproducible.
+const ASSIGN_GRAIN: usize = 64;
+
+/// Nearest-center index for every row of `data` (squared Euclidean distance,
+/// ties to the lower center index). Fans out over the global pool; each
+/// point's distance loop runs serially, so the result is thread-count
+/// independent.
+pub fn assign_nearest(data: &Tensor, centers: &Tensor) -> Vec<usize> {
+    let t = data.rows();
+    let k = centers.rows();
+    assert!(k > 0, "need at least one center");
+    assert_eq!(data.cols(), centers.cols(), "point/center dims differ");
+    let mut assign = vec![0usize; t];
+    imcat_par::global().parallel_chunks_mut(&mut assign, ASSIGN_GRAIN, |ci, slots| {
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let i = ci * ASSIGN_GRAIN + off;
+            let mut best = (0usize, f32::INFINITY);
+            for j in 0..k {
+                let d2: f32 =
+                    data.row(i).iter().zip(centers.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d2 < best.1 {
+                    best = (j, d2);
+                }
+            }
+            *slot = best.0;
+        }
+    });
+    assign
+}
+
+/// Lloyd k-means over the rows of `data`: `iters` assign/update rounds from
+/// a random distinct-row initialization drawn from `rng`.
+///
+/// The RNG draw sequence and all floating-point accumulation orders are
+/// identical to the historical serial implementation in `imcat-core`, so
+/// seeded runs (and their checkpoints) reproduce exactly.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+pub fn kmeans_centers(data: &Tensor, k: usize, iters: usize, rng: &mut impl Rng) -> Tensor {
+    let (t, d) = data.shape();
+    assert!(t >= k, "need at least K points");
+    // Init: distinct random rows.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let c = rng.gen_range(0..t);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+    }
+    let mut centers = Tensor::zeros(k, d);
+    for (j, &c) in chosen.iter().enumerate() {
+        centers.row_mut(j).copy_from_slice(data.row(c));
+    }
+    for _ in 0..iters {
+        // Assign (parallel, bit-identical to serial).
+        let assign = assign_nearest(data, &centers);
+        // Update (serial: accumulation order over points is part of the
+        // determinism contract).
+        let mut sums = Tensor::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..t {
+            let j = assign[i];
+            counts[j] += 1;
+            for (s, &x) in sums.row_mut(j).iter_mut().zip(data.row(i)) {
+                *s += x;
+            }
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                let inv = 1.0 / counts[j] as f32;
+                for (c, &s) in centers.row_mut(j).iter_mut().zip(sums.row(j)) {
+                    *c = s * inv;
+                }
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcat_tensor::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The historical serial implementation (verbatim from `imcat-core`),
+    /// kept as an oracle: the shared routine must reproduce it bit-for-bit.
+    #[allow(clippy::needless_range_loop)]
+    fn kmeans_serial_oracle(data: &Tensor, k: usize, iters: usize, rng: &mut StdRng) -> Tensor {
+        let (t, d) = data.shape();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let c = rng.gen_range(0..t);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        let mut centers = Tensor::zeros(k, d);
+        for (j, &c) in chosen.iter().enumerate() {
+            centers.row_mut(j).copy_from_slice(data.row(c));
+        }
+        let mut assign = vec![0usize; t];
+        for _ in 0..iters {
+            for i in 0..t {
+                let mut best = (0usize, f32::INFINITY);
+                for j in 0..k {
+                    let d2: f32 = data
+                        .row(i)
+                        .iter()
+                        .zip(centers.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d2 < best.1 {
+                        best = (j, d2);
+                    }
+                }
+                assign[i] = best.0;
+            }
+            let mut sums = Tensor::zeros(k, d);
+            let mut counts = vec![0usize; k];
+            for i in 0..t {
+                let j = assign[i];
+                counts[j] += 1;
+                for (s, &x) in sums.row_mut(j).iter_mut().zip(data.row(i)) {
+                    *s += x;
+                }
+            }
+            for j in 0..k {
+                if counts[j] > 0 {
+                    let inv = 1.0 / counts[j] as f32;
+                    for (c, &s) in centers.row_mut(j).iter_mut().zip(sums.row(j)) {
+                        *c = s * inv;
+                    }
+                }
+            }
+        }
+        centers
+    }
+
+    #[test]
+    fn matches_serial_oracle_bitwise() {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = normal(57, 8, 1.0, &mut rng);
+            let mut r1 = StdRng::seed_from_u64(seed ^ 0xabc);
+            let mut r2 = StdRng::seed_from_u64(seed ^ 0xabc);
+            let shared = kmeans_centers(&data, 5, 7, &mut r1);
+            let oracle = kmeans_serial_oracle(&data, 5, 7, &mut r2);
+            let a: Vec<u32> = shared.as_slice().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = oracle.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "shared k-means diverged from the serial oracle (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = normal(10, 3, 0.05, &mut rng);
+        let mut data = Tensor::zeros(10, 3);
+        for i in 0..10 {
+            let c = if i < 5 { 3.0 } else { -3.0 };
+            data.row_mut(i)[0] = c + noise.row(i)[0];
+            data.row_mut(i)[1] = noise.row(i)[1];
+            data.row_mut(i)[2] = noise.row(i)[2];
+        }
+        let centers = kmeans_centers(&data, 2, 10, &mut rng);
+        let mut xs: Vec<f32> = (0..2).map(|j| centers.get(j, 0)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        assert!(xs[0] < -2.0 && xs[1] > 2.0, "centers: {xs:?}");
+        let assign = assign_nearest(&data, &centers);
+        assert!(assign[..5].iter().all(|&a| a == assign[0]));
+        assert!(assign[5..].iter().all(|&a| a == assign[5]));
+        assert_ne!(assign[0], assign[5]);
+    }
+}

@@ -1,0 +1,30 @@
+//! `imcat-ann`: sublinear top-K retrieval for the serving path.
+//!
+//! Two pieces live here:
+//!
+//! * [`kmeans`] — the workspace's single, shared, deterministic Lloyd
+//!   k-means. IMCAT's Intent Representation Module seeds its learnable
+//!   cluster centers with it, and the IVF index trains its coarse quantizer
+//!   with it, so the intent machinery and the retrieval machinery share one
+//!   code path by construction.
+//! * [`ivf`] — an IVF-Flat index over the frozen item-embedding matrix:
+//!   k-means partitions items into `nlist` inverted lists; a query probes
+//!   the `nprobe` closest lists and re-ranks the surviving candidates with
+//!   **exact** f32 dot products, so any error is pure recall loss — returned
+//!   scores and orderings are always the brute-force ones, and with
+//!   `nprobe == nlist` the whole result is bit-identical to brute force.
+//!
+//! The index serializes into `ann.*` named sections of an `imcat-ckpt`
+//! container (living alongside the serving `Artifact` sections in the same
+//! file), and `imcat-serve` consumes it behind `AnnConfig` with brute-force
+//! fallback. See the README "ANN retrieval" section for the operational
+//! knobs and `crates/bench/src/bin/ann_bench.rs` for the recall/QPS
+//! frontier methodology.
+
+#![warn(missing_docs)]
+
+pub mod ivf;
+pub mod kmeans;
+
+pub use ivf::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
+pub use kmeans::{assign_nearest, kmeans_centers};

@@ -1,0 +1,95 @@
+//! Thread-count invariance: the shared k-means, the IVF index build, and the
+//! probe path must all be bit-identical at `IMCAT_THREADS` 1 and 4 — the
+//! same discipline every other parallel hot path in the workspace follows.
+
+use std::sync::{Mutex, OnceLock};
+
+use imcat_ann::{kmeans_centers, AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
+use imcat_ckpt::Checkpoint;
+use imcat_tensor::normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The pool is process-global, so tests that reconfigure it must not overlap.
+fn pool_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    imcat_par::set_threads(threads);
+    let out = f();
+    imcat_par::set_threads(imcat_par::default_threads());
+    out
+}
+
+#[test]
+fn kmeans_centroids_bit_identical_at_1_and_4_threads() {
+    let _guard = pool_lock().lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = normal(300, 16, 1.0, &mut rng);
+    let run = |threads| {
+        with_threads(threads, || {
+            let mut r = StdRng::seed_from_u64(42);
+            kmeans_centers(&data, 12, 8, &mut r)
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    let a: Vec<u32> = serial.as_slice().iter().map(|x| x.to_bits()).collect();
+    let b: Vec<u32> = parallel.as_slice().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(a, b, "k-means centroids depend on the thread count");
+}
+
+/// Builds at both thread counts and compares the *serialized* indices, which
+/// covers centroids, offsets, entries, and the quantization arrays in one
+/// byte-for-byte comparison.
+#[test]
+fn ivf_index_build_bit_identical_at_1_and_4_threads() {
+    let _guard = pool_lock().lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let items = normal(400, 12, 1.0, &mut rng);
+    for quantized in [false, true] {
+        let cfg = AnnConfig { nlist: 24, nprobe: 6, quantized };
+        let bytes = |threads| {
+            with_threads(threads, || {
+                let idx = IvfIndex::build(&items, &cfg, DEFAULT_BUILD_SEED);
+                let mut ck = Checkpoint::new();
+                idx.add_to_checkpoint(&mut ck);
+                ck.to_bytes()
+            })
+        };
+        assert_eq!(
+            bytes(1),
+            bytes(4),
+            "serialized index differs across thread counts (quantized={quantized})"
+        );
+    }
+}
+
+#[test]
+fn probe_results_bit_identical_at_1_and_4_threads() {
+    let _guard = pool_lock().lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let items = normal(500, 8, 1.0, &mut rng);
+    let queries = normal(6, 8, 1.0, &mut rng);
+    let cfg = AnnConfig { nlist: 20, nprobe: 5, quantized: false };
+    let mask: Vec<u32> = vec![3, 17, 250, 499];
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let idx = IvfIndex::build(&items, &cfg, DEFAULT_BUILD_SEED);
+            let mut scratch = ProbeScratch::default();
+            let mut fp: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = Vec::new();
+            for q in 0..queries.rows() {
+                idx.probe(queries.row(q), &items, &mask, 10, cfg.nprobe, &mut scratch);
+                fp.push((
+                    scratch.candidates().to_vec(),
+                    scratch.scores().iter().map(|s| s.to_bits()).collect(),
+                    scratch.mask().to_vec(),
+                ));
+            }
+            fp
+        })
+    };
+    assert_eq!(run(1), run(4), "probe output depends on the thread count");
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the persisted index sections: serialization
+//! roundtrips bit-exactly, and truncated / corrupted / semantically invalid
+//! `ann.*` sections are rejected all-or-nothing — a decode either yields a
+//! fully validated index or an error, never something partial.
+
+use imcat_ann::ivf::{SEC_ANN_CENTROIDS, SEC_ANN_LISTS};
+use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch};
+use imcat_ckpt::{Checkpoint, Decoder, Encoder};
+use imcat_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A finite-valued item matrix drawn from raw bits.
+fn finite_items(rows: usize, cols: usize, gen: &mut Gen) -> Tensor {
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                let raw = f32::from_bits(gen.next_u64() as u32);
+                if raw.is_finite() {
+                    raw.clamp(-1e30, 1e30)
+                } else {
+                    gen.below(1000) as f32
+                }
+            })
+            .collect(),
+    )
+}
+
+fn arbitrary_index(seed: u64) -> (IvfIndex, Tensor) {
+    let mut gen = Gen::new(seed);
+    let n_items = 4 + gen.below(60) as usize;
+    let d = 1 + gen.below(6) as usize;
+    let items = finite_items(n_items, d, &mut gen);
+    let cfg = AnnConfig {
+        nlist: 1 + gen.below(n_items as u64) as usize,
+        nprobe: 0,
+        quantized: gen.below(2) == 1,
+    };
+    (IvfIndex::build(&items, &cfg, seed ^ 0xa11), items)
+}
+
+fn serialize(idx: &IvfIndex) -> Vec<u8> {
+    let mut ck = Checkpoint::new();
+    idx.add_to_checkpoint(&mut ck);
+    ck.to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arbitrary indices survive the container roundtrip bit-exactly
+    /// (checked by re-serializing the decoded index: any lost or altered bit
+    /// in centroids, lists, codes, or scales would change the bytes).
+    #[test]
+    fn roundtrip_is_bit_exact(seed in 0u64..1_000_000) {
+        let (idx, _) = arbitrary_index(seed);
+        let bytes = serialize(&idx);
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        let back = IvfIndex::from_checkpoint(&ck).unwrap().expect("sections present");
+        prop_assert_eq!(serialize(&back), bytes);
+        prop_assert_eq!(back.nlist(), idx.nlist());
+        prop_assert_eq!(back.quantized(), idx.quantized());
+    }
+
+    /// A container with no `ann.*` sections is "no index", not an error.
+    #[test]
+    fn absent_sections_decode_to_none(seed in 0u64..1_000_000) {
+        let mut ck = Checkpoint::new();
+        ck.insert("unrelated", vec![seed as u8]);
+        prop_assert!(IvfIndex::from_checkpoint(&ck).unwrap().is_none());
+    }
+
+    /// Any strict truncation and any single-byte corruption of an
+    /// index-bearing container is rejected at the container layer.
+    #[test]
+    fn truncation_and_corruption_are_rejected(seed in 0u64..1_000_000) {
+        let (idx, _) = arbitrary_index(seed);
+        let bytes = serialize(&idx);
+        let mut gen = Gen::new(seed ^ 0xfeed);
+
+        let cut = gen.below(bytes.len() as u64) as usize;
+        prop_assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "truncation at {} accepted", cut);
+
+        let mut flipped = bytes.clone();
+        let at = gen.below(bytes.len() as u64) as usize;
+        flipped[at] ^= 1 + gen.below(255) as u8;
+        prop_assert!(Checkpoint::from_bytes(&flipped).is_err(), "byte flip at {} accepted", at);
+    }
+
+    /// Structurally valid sections whose *content* breaks the index
+    /// invariants decode as errors: duplicated ids, out-of-range ids,
+    /// non-tiling offsets, and nonfinite centroids are all caught.
+    #[test]
+    fn semantic_corruption_is_rejected(seed in 0u64..1_000_000) {
+        let (idx, _) = arbitrary_index(seed);
+        let mut ck = Checkpoint::new();
+        idx.add_to_checkpoint(&mut ck);
+
+        // Decode the genuine lists so each corruption starts from valid data.
+        let mut d = Decoder::new(ck.get(SEC_ANN_LISTS).unwrap());
+        let offsets = d.u32s().unwrap();
+        let entries = d.u32s().unwrap();
+
+        let reencode = |offsets: &[u32], entries: &[u32]| {
+            let mut e = Encoder::new();
+            e.put_u32s(offsets);
+            e.put_u32s(entries);
+            e.into_bytes()
+        };
+        let with_lists = |bytes: Vec<u8>| {
+            let mut bad = Checkpoint::new();
+            idx.add_to_checkpoint(&mut bad);
+            bad.insert(SEC_ANN_LISTS, bytes);
+            IvfIndex::from_checkpoint(&bad)
+        };
+
+        if entries.len() >= 2 {
+            // Duplicate one id (first entry overwrites the second).
+            let mut dup = entries.clone();
+            dup[1] = dup[0];
+            prop_assert!(with_lists(reencode(&offsets, &dup)).is_err(), "duplicate id accepted");
+        }
+
+        // Out-of-range id.
+        let mut oor = entries.clone();
+        oor[0] = idx.n_items() as u32;
+        prop_assert!(with_lists(reencode(&offsets, &oor)).is_err(), "out-of-range id accepted");
+
+        // Offsets that no longer tile the entries.
+        let mut bad_off = offsets.clone();
+        *bad_off.last_mut().unwrap() += 1;
+        prop_assert!(with_lists(reencode(&bad_off, &entries)).is_err(), "non-tiling offsets accepted");
+
+        // Nonfinite centroid.
+        let mut bad = Checkpoint::new();
+        idx.add_to_checkpoint(&mut bad);
+        let mut cd = Decoder::new(bad.get(SEC_ANN_CENTROIDS).unwrap());
+        let mut cents = cd.tensor().unwrap();
+        cents.row_mut(0)[0] = f32::NAN;
+        let mut ce = Encoder::new();
+        ce.put_tensor(&cents);
+        bad.insert(SEC_ANN_CENTROIDS, ce.into_bytes());
+        prop_assert!(IvfIndex::from_checkpoint(&bad).is_err(), "NaN centroid accepted");
+    }
+
+    /// Probing every list recovers the exact brute-force score row: the
+    /// compact candidate set is `0..n_items` in order and every score is
+    /// bit-identical to a direct dot product.
+    #[test]
+    fn full_probe_equals_brute_force(seed in 0u64..100_000) {
+        let (idx, items) = arbitrary_index(seed);
+        let mut gen = Gen::new(seed ^ 0x9e3);
+        let query: Vec<f32> = (0..items.cols()).map(|_| gen.below(2001) as f32 / 1000.0 - 1.0).collect();
+        let mut scratch = ProbeScratch::default();
+        idx.probe(&query, &items, &[], 10, idx.nlist(), &mut scratch);
+        let expected_ids: Vec<u32> = (0..items.rows() as u32).collect();
+        prop_assert_eq!(scratch.candidates(), &expected_ids[..]);
+        for (i, s) in scratch.scores().iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (&a, &b) in query.iter().zip(items.row(i)) {
+                acc += a * b;
+            }
+            prop_assert_eq!(s.to_bits(), acc.to_bits(), "score {} differs from brute force", i);
+        }
+    }
+}

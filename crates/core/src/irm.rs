@@ -105,56 +105,15 @@ pub fn hard_assignment(q: &Tensor) -> Vec<usize> {
 
 /// Lloyd k-means over tag embeddings, used to initialize the cluster centers
 /// when the clustering phase activates (after pre-training).
-#[allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+///
+/// Delegates to the workspace-shared implementation in `imcat-ann` — the same
+/// routine that trains the IVF coarse quantizer for serving — so the intent
+/// clustering and the retrieval index can never drift apart. The shared
+/// routine preserves this function's historical RNG draw sequence and
+/// accumulation orders bit-exactly (checkpoints from earlier versions resume
+/// unchanged).
 pub fn kmeans_centers(tags: &Tensor, k: usize, iters: usize, rng: &mut impl Rng) -> Tensor {
-    let (t, d) = tags.shape();
-    assert!(t >= k, "need at least K tags");
-    // Init: distinct random tags.
-    let mut chosen: Vec<usize> = Vec::with_capacity(k);
-    while chosen.len() < k {
-        let c = rng.gen_range(0..t);
-        if !chosen.contains(&c) {
-            chosen.push(c);
-        }
-    }
-    let mut centers = Tensor::zeros(k, d);
-    for (j, &c) in chosen.iter().enumerate() {
-        centers.row_mut(j).copy_from_slice(tags.row(c));
-    }
-    let mut assign = vec![0usize; t];
-    for _ in 0..iters {
-        // Assign.
-        for i in 0..t {
-            let mut best = (0usize, f32::INFINITY);
-            for j in 0..k {
-                let d2: f32 =
-                    tags.row(i).iter().zip(centers.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
-                if d2 < best.1 {
-                    best = (j, d2);
-                }
-            }
-            assign[i] = best.0;
-        }
-        // Update.
-        let mut sums = Tensor::zeros(k, d);
-        let mut counts = vec![0usize; k];
-        for i in 0..t {
-            let j = assign[i];
-            counts[j] += 1;
-            for (s, &x) in sums.row_mut(j).iter_mut().zip(tags.row(i)) {
-                *s += x;
-            }
-        }
-        for j in 0..k {
-            if counts[j] > 0 {
-                let inv = 1.0 / counts[j] as f32;
-                for (c, &s) in centers.row_mut(j).iter_mut().zip(sums.row(j)) {
-                    *c = s * inv;
-                }
-            }
-        }
-    }
-    centers
+    imcat_ann::kmeans_centers(tags, k, iters, rng)
 }
 
 #[cfg(test)]

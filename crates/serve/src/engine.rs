@@ -10,6 +10,18 @@
 //! artifact's training-item mask. The single-request path shards the item
 //! axis over the [`imcat_par`] pool; each item's dot product is a sequential
 //! accumulation, so the result does not depend on `IMCAT_THREADS`.
+//!
+//! ## ANN retrieval
+//!
+//! With [`ServeConfig::ann`] set, requests go through an `imcat-ann`
+//! IVF-Flat probe instead of scoring the whole catalog: only the `nprobe`
+//! best inverted lists are scanned, candidates are scored with the *same*
+//! exact dot products, and the final list is re-ranked through the same
+//! `top_n_masked_with` path — any error is pure recall loss, never a wrong
+//! score or ordering, and `nprobe == nlist` is bit-identical to brute force.
+//! The engine falls back to brute force (counted as `ann.fallbacks`) for
+//! cold users (all-zero embedding, where centroid ranking is meaningless),
+//! fully-masked users, and probes too sparse to fill the requested `k`.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -17,7 +29,8 @@ use std::io;
 use std::path::Path;
 use std::time::Instant;
 
-use imcat_ckpt::Artifact;
+use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
+use imcat_ckpt::{Artifact, Checkpoint};
 use imcat_eval::{top_n_masked_with, TopKScratch};
 use imcat_obs::Histogram;
 use imcat_tensor::Tensor;
@@ -32,11 +45,27 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Item-axis shard size for the single-request scoring path.
     pub shard_items: usize,
+    /// ANN retrieval configuration; `None` serves brute force.
+    pub ann: Option<AnnConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { cache_capacity: 1024, shard_items: 1024 }
+        Self { cache_capacity: 1024, shard_items: 1024, ann: None }
+    }
+}
+
+/// Live ANN retrieval state: the index plus its reusable probe buffers.
+struct AnnState {
+    cfg: AnnConfig,
+    index: IvfIndex,
+    scratch: ProbeScratch,
+}
+
+impl AnnState {
+    fn build(artifact: &Artifact, cfg: AnnConfig) -> Self {
+        let index = IvfIndex::build(&artifact.item_emb, &cfg, DEFAULT_BUILD_SEED);
+        Self { cfg, index, scratch: ProbeScratch::default() }
     }
 }
 
@@ -77,20 +106,25 @@ pub struct Engine {
     cfg: ServeConfig,
     cache: LruCache,
     scratch: TopKScratch,
+    ann: Option<AnnState>,
     latency: Histogram,
     served: u64,
 }
 
 impl Engine {
-    /// Builds an engine over a validated artifact.
+    /// Builds an engine over a validated artifact. When [`ServeConfig::ann`]
+    /// is set the IVF index is built here (deterministically, from the item
+    /// embeddings alone).
     pub fn new(artifact: Artifact, cfg: ServeConfig) -> io::Result<Self> {
         artifact.validate()?;
         let cache = LruCache::new(cfg.cache_capacity);
+        let ann = cfg.ann.map(|c| AnnState::build(&artifact, c));
         Ok(Self {
             artifact,
             cfg,
             cache,
             scratch: TopKScratch::default(),
+            ann,
             latency: Histogram::default(),
             served: 0,
         })
@@ -98,8 +132,53 @@ impl Engine {
 
     /// Loads an artifact from disk (with the container's `.prev` fallback)
     /// and builds an engine over it.
+    ///
+    /// With [`ServeConfig::ann`] set, the engine reuses the `ann.*` index
+    /// sections persisted in the same container when they validate and match
+    /// the requested configuration; otherwise it rebuilds the index and
+    /// persists it back lazily (atomic save, `.prev` rotation preserved), so
+    /// the next load is instant. A corrupt or stale persisted index is
+    /// counted (`ann.index.rejected`) and rebuilt — it can never poison the
+    /// engine. A failed lazy persist is non-fatal: the engine still serves
+    /// from the freshly built in-memory index.
     pub fn load(path: impl AsRef<Path>, cfg: ServeConfig) -> io::Result<Self> {
-        Self::new(Artifact::load(path)?, cfg)
+        let Some(ann_cfg) = cfg.ann else {
+            return Self::new(Artifact::load(&path)?, cfg);
+        };
+        let mut ck = Checkpoint::load(&path)?;
+        let artifact = Artifact::from_checkpoint(&ck)?;
+        artifact.validate()?;
+        let loaded = match IvfIndex::from_checkpoint(&ck) {
+            Ok(idx) => idx.filter(|idx| {
+                idx.matches(&ann_cfg, artifact.n_items(), artifact.dim(), DEFAULT_BUILD_SEED)
+            }),
+            Err(_) => {
+                if imcat_obs::enabled() {
+                    imcat_obs::counter_add("ann.index.rejected", 1);
+                }
+                None
+            }
+        };
+        let state = match loaded {
+            Some(index) => AnnState { cfg: ann_cfg, index, scratch: ProbeScratch::default() },
+            None => {
+                let state = AnnState::build(&artifact, ann_cfg);
+                state.index.add_to_checkpoint(&mut ck);
+                if ck.save(&path).is_err() && imcat_obs::enabled() {
+                    imcat_obs::counter_add("ann.index.persist_failed", 1);
+                }
+                state
+            }
+        };
+        let mut engine = Self::new(artifact, ServeConfig { ann: None, ..cfg.clone() })?;
+        engine.cfg = cfg;
+        engine.ann = Some(state);
+        Ok(engine)
+    }
+
+    /// The live IVF index, when ANN retrieval is active.
+    pub fn ann_index(&self) -> Option<&IvfIndex> {
+        self.ann.as_ref().map(|s| &s.index)
     }
 
     /// The artifact currently being served.
@@ -108,16 +187,31 @@ impl Engine {
     }
 
     /// Swaps in a new artifact. The cache is cleared so no stale list from
-    /// the previous generation can ever be served; on a validation error the
-    /// old artifact (and cache) stay live.
+    /// the previous generation can ever be served, and the ANN index (if
+    /// active) is rebuilt over the new item embeddings before the swap; on a
+    /// validation error the old artifact, index, and cache all stay live.
     pub fn reload(&mut self, artifact: Artifact) -> io::Result<()> {
         artifact.validate()?;
+        self.ann = self.cfg.ann.map(|c| AnnState::build(&artifact, c));
         self.artifact = artifact;
         self.cache.clear();
         if imcat_obs::enabled() {
             imcat_obs::counter_add("serve.reloads", 1);
         }
         Ok(())
+    }
+
+    /// Switches ANN retrieval on, off, or to a different configuration,
+    /// rebuilding the index as needed. The result cache is cleared exactly
+    /// like [`Engine::reload`] does: a list computed under the previous
+    /// retrieval configuration can never be served under the new one.
+    pub fn set_ann(&mut self, ann: Option<AnnConfig>) {
+        self.cfg.ann = ann;
+        self.ann = ann.map(|c| AnnState::build(&self.artifact, c));
+        self.cache.clear();
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("serve.ann_swaps", 1);
+        }
     }
 
     /// Number of users the current artifact can serve.
@@ -158,6 +252,56 @@ impl Engine {
         top.iter().map(|&j| Recommendation { item: j, score: scores[j as usize] }).collect()
     }
 
+    /// ANN path for one request. `None` means "fall back to brute force":
+    /// cold user (all-zero embedding — every dot product is 0 and centroid
+    /// ranking is meaningless), fully-masked user, or a probe whose unmasked
+    /// candidates cannot fill the requested `k`.
+    fn ann_recommend(&mut self, user: u32, k: usize) -> Option<Vec<Recommendation>> {
+        let state = self.ann.as_mut()?;
+        let n_items = self.artifact.item_emb.rows();
+        let mask = &self.artifact.masks[user as usize];
+        if mask.len() >= n_items {
+            return None;
+        }
+        let u_row = self.artifact.user_emb.row(user as usize);
+        if u_row.iter().all(|&x| x == 0.0) {
+            return None;
+        }
+        let nprobe = state.cfg.resolved_nprobe(n_items);
+        state.index.probe(u_row, &self.artifact.item_emb, mask, k, nprobe, &mut state.scratch);
+        let unmasked = state.scratch.candidates().len() - state.scratch.mask().len();
+        if unmasked < k.min(n_items - mask.len()) {
+            return None;
+        }
+        // Re-rank the compact candidate set through the evaluator's own
+        // selection path — identical scores, identical tie discipline.
+        let top =
+            top_n_masked_with(state.scratch.scores(), state.scratch.mask(), k, &mut self.scratch);
+        Some(
+            top.iter()
+                .map(|&ci| Recommendation {
+                    item: state.scratch.candidates()[ci as usize],
+                    score: state.scratch.scores()[ci as usize],
+                })
+                .collect(),
+        )
+    }
+
+    /// Computes a fresh (uncached) answer: ANN probe when active, brute
+    /// force otherwise or as fallback.
+    fn compute(&mut self, user: u32, k: usize) -> Vec<Recommendation> {
+        if self.ann.is_some() {
+            if let Some(out) = self.ann_recommend(user, k) {
+                return out;
+            }
+            if imcat_obs::enabled() {
+                imcat_obs::counter_add("ann.fallbacks", 1);
+            }
+        }
+        let scores = self.score_user(user);
+        self.top_k(user, k, &scores)
+    }
+
     fn account(&mut self, requests: u64, seconds: f64) {
         self.served += requests;
         for _ in 0..requests {
@@ -182,8 +326,7 @@ impl Engine {
             self.account(1, t0.elapsed().as_secs_f64());
             return out;
         }
-        let scores = self.score_user(user);
-        let out = self.top_k(user, k, &scores);
+        let out = self.compute(user, k);
         self.cache.put((user, k), out.clone());
         self.account(1, t0.elapsed().as_secs_f64());
         out
@@ -216,7 +359,22 @@ impl Engine {
                 }
             }
         }
-        if !miss_keys.is_empty() {
+        if !miss_keys.is_empty() && self.ann.is_some() {
+            // ANN path: each unique miss goes through the same probe (or
+            // brute fallback) as the single-request path, so batch answers
+            // stay bit-identical to [`Engine::recommend`].
+            let mut fresh: Vec<Vec<Recommendation>> = Vec::with_capacity(miss_keys.len());
+            for &(user, k) in &miss_keys {
+                let recs = self.compute(user, k);
+                self.cache.put((user, k), recs.clone());
+                fresh.push(recs);
+            }
+            for (slot, &(user, k)) in outputs.iter_mut().zip(requests) {
+                if slot.is_none() {
+                    *slot = Some(fresh[miss_index[&(user, k)]].clone());
+                }
+            }
+        } else if !miss_keys.is_empty() {
             // One scoring matmul for the whole tick: one row per unique miss
             // user (a user requested at two cutoffs shares a row).
             let mut users: Vec<u32> = miss_keys.iter().map(|&(u, _)| u).collect();

@@ -13,6 +13,9 @@
 //! * **Caching** — a bounded LRU keeps hot users' lists with hit/miss
 //!   accounting.
 //! * **Batching** — a tick of concurrent requests costs one `matmul_nt`.
+//! * **ANN retrieval** — [`ServeConfig::ann`] fronts scoring with an
+//!   `imcat-ann` IVF probe (exact re-rank, brute-force fallback), turning
+//!   per-request cost sublinear in catalog size.
 //! * **Telemetry** — request latency histograms (p50/p95/p99) and counters
 //!   flow through `imcat-obs`.
 
@@ -23,4 +26,5 @@ mod engine;
 
 pub use cache::LruCache;
 pub use engine::{Engine, Recommendation, ServeConfig, ServeStats};
+pub use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch};
 pub use imcat_ckpt::Artifact;

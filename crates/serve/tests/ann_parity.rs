@@ -1,0 +1,361 @@
+//! ANN serving contract: with `nprobe == nlist` the IVF path is
+//! bit-identical to brute force (tie order included); with partial probes
+//! every returned score is still an exact dot product; fallbacks cover cold
+//! and fully-masked users; config swaps invalidate the cache exactly like
+//! reloads; and a corrupted persisted index can never poison the engine.
+
+use std::sync::{Mutex, OnceLock};
+
+use imcat_ann::ivf::SEC_ANN_LISTS;
+use imcat_ann::DEFAULT_BUILD_SEED;
+use imcat_ckpt::Checkpoint;
+use imcat_data::{generate, SplitDataset, SynthConfig};
+use imcat_models::{Bprmf, RecModel, TrainConfig};
+use imcat_serve::{AnnConfig, Engine, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_split(seed: u64) -> SplitDataset {
+    let synth = generate(&SynthConfig::tiny(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    synth.dataset.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+/// The pool is process-global, so tests that reconfigure it must not overlap.
+fn pool_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    imcat_par::set_threads(threads);
+    let out = f();
+    imcat_par::set_threads(imcat_par::default_threads());
+    out
+}
+
+fn trained_bprmf(data: &SplitDataset) -> Bprmf {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = Bprmf::new(data, TrainConfig::default(), &mut rng);
+    for _ in 0..3 {
+        model.train_epoch(&mut rng);
+    }
+    model
+}
+
+fn ann_cfg(nlist: usize, nprobe: usize) -> ServeConfig {
+    ServeConfig {
+        cache_capacity: 0,
+        ann: Some(AnnConfig { nlist, nprobe, quantized: false }),
+        ..Default::default()
+    }
+}
+
+/// Acceptance criterion: probing *every* list must reproduce brute force
+/// bit-identically — same items, same order (ties included), same score
+/// bits — because the compact candidate arrays then equal the full ones.
+#[test]
+fn nprobe_equals_nlist_is_bit_identical_to_brute_force() {
+    let data = tiny_split(31);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let nlist = 12;
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut ivf = Engine::new(artifact, ann_cfg(nlist, nlist)).unwrap();
+    for u in 0..data.n_users() as u32 {
+        for k in [1, 7, 20] {
+            let b = brute.recommend(u, k);
+            let a = ivf.recommend(u, k);
+            assert_eq!(a.len(), b.len(), "user {u} k {k}: list lengths differ");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.item, y.item, "user {u} k {k}: item order differs");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "user {u} k {k}: score bits differ"
+                );
+            }
+        }
+    }
+}
+
+/// With ties injected deliberately, full-probe IVF must preserve brute
+/// force's tie order exactly.
+#[test]
+fn tie_order_survives_full_probe() {
+    let data = tiny_split(32);
+    let model = trained_bprmf(&data);
+    let mut artifact = model.export_artifact(&data).unwrap();
+    // Make several items exact duplicates so their scores tie bitwise for
+    // every user.
+    let dup = artifact.item_emb.row(5).to_vec();
+    for j in [9usize, 23, 41] {
+        artifact.item_emb.row_mut(j).copy_from_slice(&dup);
+    }
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut ivf = Engine::new(artifact, ann_cfg(8, 8)).unwrap();
+    for u in 0..data.n_users() as u32 {
+        assert_eq!(ivf.recommend(u, 30), brute.recommend(u, 30), "user {u}: tie order diverged");
+    }
+}
+
+/// Partial probes trade recall, never correctness: every returned item's
+/// score must still be the exact dot product, the list must be sorted, and
+/// recall against brute force should be high on this easy catalog.
+#[test]
+fn partial_probe_scores_are_exact_and_recall_is_high() {
+    let data = tiny_split(33);
+    // Train well past the other tests' 3 epochs: recall under partial probes
+    // depends on the embeddings actually having cluster structure.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
+    for _ in 0..25 {
+        model.train_epoch(&mut rng);
+    }
+    let artifact = model.export_artifact(&data).unwrap();
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut ivf = Engine::new(artifact, ann_cfg(8, 4)).unwrap();
+    let k = 10;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for u in 0..data.n_users() as u32 {
+        let exact = brute.recommend(u, k);
+        let approx = ivf.recommend(u, k);
+        let scores = model.score_users(&[u]);
+        for w in approx.windows(2) {
+            assert!(w[0].score >= w[1].score, "user {u}: ANN list not sorted");
+        }
+        for r in &approx {
+            assert_eq!(
+                r.score.to_bits(),
+                scores.row(0)[r.item as usize].to_bits(),
+                "user {u}: ANN returned a non-exact score"
+            );
+        }
+        let truth: Vec<u32> = exact.iter().map(|r| r.item).collect();
+        hits += approx.iter().filter(|r| truth.contains(&r.item)).count();
+        total += truth.len();
+    }
+    // The tiny 60x90 catalog is a worst case for IVF (per-user top-10s
+    // scatter across lists that hold ~11 items each); the production-scale
+    // recall bar lives in ann_bench / the ann-smoke CI job. Here we only
+    // require that half the lists recover well over half the true top-10.
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.6, "recall@10 {recall:.3} unexpectedly low at nprobe=nlist/2");
+}
+
+/// Batched requests must stay bit-identical to the single-request path when
+/// ANN is active (both go through the same probe-or-fallback computation).
+#[test]
+fn batch_matches_single_under_ann() {
+    let data = tiny_split(34);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let mut batched = Engine::new(
+        artifact.clone(),
+        ServeConfig {
+            ann: Some(AnnConfig { nlist: 10, nprobe: 3, quantized: false }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut single = Engine::new(artifact, ann_cfg(10, 3)).unwrap();
+    let n = data.n_users() as u32;
+    let requests: Vec<(u32, usize)> =
+        (0..40u32).map(|i| (i % n, if i % 3 == 0 { 5 } else { 15 })).collect();
+    let tick = batched.recommend_batch(&requests);
+    for (out, &(u, k)) in tick.iter().zip(&requests) {
+        assert_eq!(out, &single.recommend(u, k), "batch answer for ({u}, {k}) diverged");
+    }
+    assert_eq!(batched.stats().served, requests.len() as u64);
+}
+
+/// Regression: a list cached under one retrieval configuration must not
+/// survive an ANN config swap — `set_ann` clears the cache like `reload`.
+#[test]
+fn set_ann_invalidates_cached_lists() {
+    let data = tiny_split(35);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let mut engine = Engine::new(artifact, ServeConfig::default()).unwrap();
+    let brute_list = engine.recommend(2, 10);
+    assert!(engine.cached_lists() > 0, "list should be cached");
+
+    // Swap in a deliberately lossy config (probe 1 list of many).
+    engine.set_ann(Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false }));
+    assert_eq!(engine.cached_lists(), 0, "set_ann must drop every cached list");
+    let ann_list = engine.recommend(2, 10);
+    // Whatever it returns must be freshly computed under the new config: an
+    // uncached engine with the same config agrees exactly.
+    let mut fresh = Engine::new(
+        engine.artifact().clone(),
+        ServeConfig {
+            cache_capacity: 0,
+            ann: Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(ann_list, fresh.recommend(2, 10), "stale cached list served after config swap");
+
+    // Swapping back off restores brute-force answers.
+    engine.set_ann(None);
+    assert_eq!(engine.cached_lists(), 0);
+    assert_eq!(engine.recommend(2, 10), brute_list);
+}
+
+/// Cold users (all-zero embedding) and fully-masked users take the brute
+/// fallback and still produce correct (deterministic / empty) answers.
+#[test]
+fn cold_and_fully_masked_users_fall_back() {
+    let data = tiny_split(36);
+    let model = trained_bprmf(&data);
+    let mut artifact = model.export_artifact(&data).unwrap();
+    for x in artifact.user_emb.row_mut(0) {
+        *x = 0.0;
+    }
+    let n_items = artifact.n_items() as u32;
+    artifact.masks[1] = (0..n_items).collect();
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut ivf = Engine::new(artifact, ann_cfg(8, 2)).unwrap();
+    // Cold user: identical to brute force (the fallback *is* brute force).
+    assert_eq!(ivf.recommend(0, 10), brute.recommend(0, 10));
+    // Fully-masked user: empty list, no panic.
+    assert_eq!(ivf.recommend(1, 10), vec![]);
+}
+
+/// `Engine::load` persists the lazily built index into the artifact file
+/// (atomically, alongside the artifact sections) and reuses it on the next
+/// load; a corrupted index section is rejected and rebuilt without ever
+/// poisoning the served answers.
+#[test]
+fn lazy_persistence_and_corrupt_index_recovery() {
+    let data = tiny_split(37);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let dir = std::env::temp_dir().join(format!("imcat-ann-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.artifact");
+    artifact.save(&path).unwrap();
+    let cfg = ann_cfg(8, 8);
+
+    // First load builds and persists the index.
+    let before = Checkpoint::load(&path).unwrap();
+    assert!(before.get(SEC_ANN_LISTS).is_none());
+    let mut e1 = Engine::load(&path, cfg.clone()).unwrap();
+    let after = Checkpoint::load(&path).unwrap();
+    assert!(after.get(SEC_ANN_LISTS).is_some(), "index sections not persisted");
+    let expected: Vec<_> = (0..data.n_users() as u32).map(|u| e1.recommend(u, 10)).collect();
+
+    // Second load reuses the persisted index byte-for-byte.
+    let bytes_once = std::fs::read(&path).unwrap();
+    let mut e2 = Engine::load(&path, cfg.clone()).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), bytes_once, "reload rewrote a fresh index");
+    for (u, want) in expected.iter().enumerate() {
+        assert_eq!(&e2.recommend(u as u32, 10), want, "persisted index changed answers");
+    }
+
+    // Corrupt the index payload semantically (duplicate id): load must
+    // reject it, rebuild, and serve the exact same answers.
+    let mut ck = Checkpoint::load(&path).unwrap();
+    let mut dec = imcat_ckpt::Decoder::new(ck.get(SEC_ANN_LISTS).unwrap());
+    let offsets = dec.u32s().unwrap();
+    let mut entries = dec.u32s().unwrap();
+    entries[1] = entries[0];
+    let mut enc = imcat_ckpt::Encoder::new();
+    enc.put_u32s(&offsets);
+    enc.put_u32s(&entries);
+    ck.insert(SEC_ANN_LISTS, enc.into_bytes());
+    ck.save(&path).unwrap();
+    let mut e3 = Engine::load(&path, cfg).unwrap();
+    for (u, want) in expected.iter().enumerate() {
+        assert_eq!(&e3.recommend(u as u32, 10), want, "corrupt index poisoned serving");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Quantized storage may only shrink the candidate pool — the final
+/// ordering and scores come from the exact f32 re-rank. At full probe on
+/// this catalog the shortlist comfortably covers the true top-K, so the
+/// answers must match the non-quantized engine exactly.
+#[test]
+fn quantized_rerank_returns_exact_scores() {
+    let data = tiny_split(38);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let mut exact = Engine::new(artifact.clone(), ann_cfg(8, 8)).unwrap();
+    let mut quant = Engine::new(
+        artifact,
+        ServeConfig {
+            cache_capacity: 0,
+            ann: Some(AnnConfig { nlist: 8, nprobe: 8, quantized: true }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let scores_of = |m: &Bprmf, u: u32| m.score_users(&[u]);
+    for u in 0..data.n_users() as u32 {
+        let q = quant.recommend(u, 10);
+        let s = scores_of(&model, u);
+        for r in &q {
+            assert_eq!(
+                r.score.to_bits(),
+                s.row(0)[r.item as usize].to_bits(),
+                "user {u}: quantized path returned a non-exact score"
+            );
+        }
+        assert_eq!(q, exact.recommend(u, 10), "user {u}: quantized top-K diverged");
+    }
+}
+
+/// ANN serving is thread-count invariant: the whole pipeline (k-means,
+/// list build, probe, exact re-rank) is bit-identical at 1 and 4 threads.
+#[test]
+fn ann_serving_bit_identical_across_thread_counts() {
+    let _guard = pool_lock().lock().unwrap();
+    let data = tiny_split(39);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let fingerprint = |threads: usize| {
+        with_threads(threads, || {
+            let mut engine = Engine::new(artifact.clone(), ann_cfg(10, 3)).unwrap();
+            let mut fp: Vec<(u32, u32)> = Vec::new();
+            for u in 0..data.n_users() as u32 {
+                for r in engine.recommend(u, 10) {
+                    fp.push((r.item, r.score.to_bits()));
+                }
+            }
+            fp
+        })
+    };
+    assert_eq!(fingerprint(1), fingerprint(4), "ANN serving depends on thread count");
+}
+
+/// The build itself is deterministic: two engines over the same artifact
+/// serve identical lists under lossy configs (no hidden RNG, no
+/// time-dependent state). Uses the fixed default build seed.
+#[test]
+fn engine_index_builds_are_reproducible() {
+    let data = tiny_split(40);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let idx_a = Engine::new(artifact.clone(), ann_cfg(12, 2)).unwrap();
+    let idx_b = Engine::new(artifact, ann_cfg(12, 2)).unwrap();
+    let a = idx_a.ann_index().unwrap();
+    let b = idx_b.ann_index().unwrap();
+    assert_eq!(a.seed(), DEFAULT_BUILD_SEED);
+    let ser = |i: &imcat_serve::IvfIndex| {
+        let mut ck = Checkpoint::new();
+        i.add_to_checkpoint(&mut ck);
+        ck.to_bytes()
+    };
+    assert_eq!(ser(a), ser(b), "two builds over the same artifact differ");
+}
