@@ -20,6 +20,9 @@
 //! * `IMCAT_SERVE_K`        — ranking cutoff (default 20)
 //! * `IMCAT_SERVE_BATCH`    — requests per tick in batch mode (default 32)
 //! * `IMCAT_SERVE_CACHE`    — LRU capacity in lists (default 256)
+//! * `IMCAT_SERVE_HOLD_SECS` — after the benchmark table, keep serving the
+//!   last model's batch ticks for this many seconds so a scraper can hit the
+//!   live `/metrics` endpoint (`IMCAT_OBS_ADDR`); default 0 (exit at once)
 //!
 //! Usage: `cargo run --release -p imcat-bench --bin serve_bench`
 
@@ -219,5 +222,32 @@ fn main() {
 
     let path = write_json("serve_bench", &rows);
     logln!(log, "report written to {}", path.display());
+
+    // Optional hold phase: keep a live engine ticking so an external scraper
+    // can observe the /metrics endpoint and resolve trace exemplars while the
+    // process is still serving (used by the CI obs-smoke job).
+    let hold_secs = env_f64("IMCAT_SERVE_HOLD_SECS", 0.0);
+    if hold_secs > 0.0 {
+        if let Some(addr) = imcat_obs::http::bound_addr() {
+            logln!(log, "obs endpoint listening on http://{addr}/metrics");
+        }
+        let artifact_path = art_dir.join(format!("{}.artifact", kinds[kinds.len() - 1].name()));
+        let cfg = ServeConfig { cache_capacity: cache, ..Default::default() };
+        let mut engine = Engine::load(&artifact_path, cfg).expect("artifact must load");
+        let hold0 = Instant::now();
+        let mut ticks = 0usize;
+        while hold0.elapsed().as_secs_f64() < hold_secs {
+            for tick in stream.chunks(batch) {
+                let _ = engine.recommend_batch(tick);
+            }
+            ticks += stream.len().div_ceil(batch);
+            // Pace the load so the hold phase exercises the sliding window
+            // rather than saturating a core.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let latest =
+            imcat_obs::trace::latest_id().map_or_else(|| "none".to_string(), |id| id.to_string());
+        logln!(log, "hold phase: {ticks} ticks over {hold_secs}s, latest trace id {latest}");
+    }
     obs_finish();
 }

@@ -37,8 +37,8 @@ pub fn obs_finish() {
     if !imcat_obs::enabled() {
         return;
     }
-    // Fold the pool workers' atomic busy-time counters into this thread's
-    // registry before the summary is rendered.
+    // Fold the pool workers' atomic busy-time counters into the registry
+    // before the summary is rendered.
     imcat_par::flush_obs();
     println!("{}", imcat_obs::summary());
     if let Some(path) = imcat_obs::finalize() {
@@ -384,11 +384,12 @@ pub fn run_one(
 }
 
 /// Maps `f` over `items`, fanning the calls out over the `imcat-par` pool
-/// when that cannot disturb measurement: telemetry must be off (the obs
-/// registry is thread-local, so phase breakdowns recorded on a worker would
-/// be lost) and the pool must actually have spare threads. Results come back
-/// in item order either way, and every run is seeded, so the output is
-/// identical between the serial and parallel paths.
+/// when that cannot disturb measurement: telemetry must be off (the global
+/// registry is shared across threads, so the per-run snapshot deltas taken by
+/// [`run_one`] would mix concurrent runs' phase times together) and the pool
+/// must actually have spare threads. Results come back in item order either
+/// way, and every run is seeded, so the output is identical between the
+/// serial and parallel paths.
 pub fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if imcat_obs::enabled() || !imcat_par::parallelism_available() {
         return items.iter().map(f).collect();

@@ -12,8 +12,9 @@ use rand::SeedableRng;
 /// independence == total` (the terms are recorded already scaled).
 #[test]
 fn loss_terms_sum_to_total() {
-    imcat_obs::reset();
-    imcat_obs::set_enabled(true);
+    // The obs registry is process-global; the guard serialises the
+    // telemetry-asserting tests and resets state around each.
+    let _guard = imcat_obs::exclusive(true);
     let data = tiny_split(501);
     let mut rng = StdRng::seed_from_u64(0);
     let bb = Bprmf::new(&data, TrainConfig::default(), &mut rng);
@@ -48,15 +49,13 @@ fn loss_terms_sum_to_total() {
         }
     }
     assert!(saw_full_objective, "post-pretrain epochs should include L_CA");
-    imcat_obs::set_enabled(false);
 }
 
 /// Training must leave nonzero op counters for the hot tape ops and the
 /// backward pass, and per-phase span times must be recorded.
 #[test]
 fn op_counters_and_phases_are_recorded() {
-    imcat_obs::reset();
-    imcat_obs::set_enabled(true);
+    let _guard = imcat_obs::exclusive(true);
     let data = tiny_split(502);
     let mut rng = StdRng::seed_from_u64(0);
     let bb = Bprmf::new(&data, TrainConfig::default(), &mut rng);
@@ -97,14 +96,12 @@ fn op_counters_and_phases_are_recorded() {
         + snap.hist_sum("phase.backward")
         + snap.hist_sum("phase.optimizer");
     assert!(train_time > 0.0);
-    imcat_obs::set_enabled(false);
 }
 
 /// Telemetry off must record nothing, even while training runs.
 #[test]
 fn disabled_telemetry_stays_empty() {
-    imcat_obs::reset();
-    imcat_obs::set_enabled(false);
+    let _guard = imcat_obs::exclusive(false);
     let data = tiny_split(503);
     let mut rng = StdRng::seed_from_u64(0);
     let bb = Bprmf::new(&data, TrainConfig::default(), &mut rng);

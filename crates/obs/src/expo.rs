@@ -1,0 +1,177 @@
+//! Prometheus-style text exposition (format 0.0.4) rendered from a registry
+//! [`Snapshot`], plus a JSON snapshot document for programmatic scrapes.
+//!
+//! Metric names are sanitised (`.` and other non-identifier characters
+//! become `_`) and prefixed `imcat_`. Cumulative histograms render as
+//! standard `_bucket{le=...}`/`_sum`/`_count` families; sliding-window
+//! percentiles render as a gauge family `<name>_window{quantile=...}` so
+//! dashboards can plot live p50/p95/p99 without server-side rate windows.
+//! Non-finite values are skipped, so the output never contains NaN.
+
+use std::fmt::Write as _;
+
+use crate::{trace, Histogram, Json, Snapshot, BUCKET_BOUNDS};
+
+/// Sanitises a metric name into a Prometheus identifier with the `imcat_`
+/// prefix.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("imcat_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_sample(out: &mut String, name: &str, labels: &str, v: f64) {
+    if !v.is_finite() {
+        return;
+    }
+    let _ = writeln!(out, "{name}{labels} {v}");
+}
+
+fn push_hist(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+        cum += h.buckets[i];
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+    }
+    cum += h.buckets[BUCKET_BOUNDS.len()];
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+    push_sample(out, &format!("{name}_sum"), "", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders the full exposition document for `snap`.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        if !v.is_finite() {
+            continue;
+        }
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        push_sample(&mut out, &n, "", *v);
+    }
+    for (name, h) in &snap.hists {
+        push_hist(&mut out, &metric_name(name), h);
+    }
+    for (name, w) in &snap.windows {
+        let n = format!("{}_window", metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            if let Some(v) = w.try_quantile(q) {
+                push_sample(&mut out, &n, &format!("{{quantile=\"{label}\"}}"), v);
+            }
+        }
+        let _ = writeln!(out, "# TYPE {n}_count gauge");
+        let _ = writeln!(out, "{n}_count {}", w.count);
+    }
+    let (stored, total, slow) = trace::stats();
+    for (n, v) in [
+        ("imcat_obs_uptime_seconds", crate::now_seconds()),
+        ("imcat_obs_traces_stored", stored as f64),
+        ("imcat_obs_traces_total", total as f64),
+        ("imcat_obs_traces_slow", slow as f64),
+    ] {
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        push_sample(&mut out, n, "", v);
+    }
+    out
+}
+
+/// Renders `snap` as one JSON document (served at `/snapshot`).
+pub fn render_snapshot_json(snap: &Snapshot) -> Json {
+    let hist_obj = |h: &Histogram| {
+        Json::obj(vec![
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum)),
+            ("mean", Json::Num(h.mean())),
+            ("min", Json::Num(if h.count == 0 { 0.0 } else { h.min })),
+            ("max", Json::Num(if h.count == 0 { 0.0 } else { h.max })),
+            ("p50", Json::Num(h.quantile(0.5))),
+            ("p95", Json::Num(h.quantile(0.95))),
+            ("p99", Json::Num(h.quantile(0.99))),
+        ])
+    };
+    let (stored, total, slow) = trace::stats();
+    Json::obj(vec![
+        ("t", Json::Num(crate::now_seconds())),
+        (
+            "counters",
+            Json::Obj(
+                snap.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+        ),
+        ("hists", Json::Obj(snap.hists.iter().map(|(k, h)| (k.clone(), hist_obj(h))).collect())),
+        (
+            "windows",
+            Json::Obj(snap.windows.iter().map(|(k, h)| (k.clone(), hist_obj(h))).collect()),
+        ),
+        (
+            "traces",
+            Json::obj(vec![
+                ("stored", Json::Num(stored as f64)),
+                ("total", Json::Num(total as f64)),
+                ("slow", Json::Num(slow as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_no_nan_and_monotone_buckets() {
+        let _g = crate::exclusive(true);
+        crate::counter_add("serve.requests", 7);
+        crate::gauge_set("eval.val_recall", f64::NAN); // must be skipped
+        crate::observe("serve.request.seconds", 0.002);
+        crate::observe("serve.request.seconds", 0.004);
+        let text = render_prometheus(&crate::snapshot());
+        assert!(!text.contains("NaN"), "exposition contains NaN:\n{text}");
+        assert!(text.contains("# TYPE imcat_serve_requests counter"));
+        assert!(text.contains("imcat_serve_requests 7"));
+        assert!(!text.contains("imcat_eval_val_recall "));
+        assert!(text.contains("imcat_serve_request_seconds_count 2"));
+        assert!(text.contains("imcat_serve_request_seconds_window{quantile=\"0.99\"}"));
+        // Cumulative bucket counts must be monotone non-decreasing.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("imcat_serve_request_seconds_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "bucket counts not monotone:\n{text}");
+            prev = v;
+        }
+        assert_eq!(prev, 2);
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let _g = crate::exclusive(true);
+        crate::counter_add("serve.requests", 3);
+        crate::observe("serve.request.seconds", 0.001);
+        let doc = render_snapshot_json(&crate::snapshot());
+        let parsed = Json::parse(&doc.render()).expect("snapshot JSON parses");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("serve.requests")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert!(parsed.get("hists").and_then(|h| h.get("serve.request.seconds")).is_some());
+    }
+}

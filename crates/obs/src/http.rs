@@ -1,0 +1,125 @@
+//! Minimal from-scratch HTTP/1.1 listener for live telemetry — no
+//! dependencies, one accept thread, sequential request handling.
+//!
+//! This is deliberately not a general web server: requests are bounded to an
+//! 8 KiB head, bodies are ignored, every response closes the connection, and
+//! handling is single-threaded so a scrape can never amplify load on the
+//! serving process. Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::expo`])
+//! * `GET /snapshot` — full registry snapshot as JSON
+//! * `GET /trace/<id>` — one stored request trace ([`crate::trace`])
+//! * `GET /traces` — recent traces plus store statistics
+//! * `GET /healthz` — liveness probe
+//!
+//! Started by [`crate::init_from_env`] when `IMCAT_OBS_ADDR` is set (e.g.
+//! `127.0.0.1:9464`); binding port 0 picks an ephemeral port, which tests
+//! use to avoid collisions.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use crate::{expo, trace, Json};
+
+const MAX_HEAD: usize = 8 * 1024;
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+static BOUND: OnceLock<SocketAddr> = OnceLock::new();
+
+/// The address the listener is bound to, once [`start`] has succeeded.
+pub fn bound_addr() -> Option<SocketAddr> {
+    BOUND.get().copied()
+}
+
+/// Binds `addr` and starts the detached accept loop. Idempotent: a second
+/// call returns the address of the already-running listener.
+pub fn start(addr: &str) -> std::io::Result<SocketAddr> {
+    if let Some(bound) = BOUND.get() {
+        return Ok(*bound);
+    }
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let bound = *BOUND.get_or_init(|| local);
+    if bound != local {
+        // Lost a start race; this listener is redundant.
+        return Ok(bound);
+    }
+    std::thread::Builder::new()
+        .name("imcat-obs-http".into())
+        .spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let _ = handle(stream);
+            }
+        })
+        .map(|_| local)
+}
+
+fn handle(mut stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    respond(&mut stream, status, content_type, &body)
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json; charset=utf-8";
+    if method != "GET" {
+        return ("405 Method Not Allowed", TEXT, "method not allowed\n".into());
+    }
+    match path {
+        "/metrics" => ("200 OK", TEXT, expo::render_prometheus(&crate::snapshot())),
+        "/snapshot" => ("200 OK", JSON, expo::render_snapshot_json(&crate::snapshot()).render()),
+        "/healthz" => ("200 OK", TEXT, "ok\n".into()),
+        "/traces" => {
+            let (stored, total, slow) = trace::stats();
+            let doc = Json::obj(vec![
+                ("stored", Json::Num(stored as f64)),
+                ("total", Json::Num(total as f64)),
+                ("slow", Json::Num(slow as f64)),
+                ("recent", Json::Arr(trace::recent(32).iter().map(|t| t.to_json()).collect())),
+            ]);
+            ("200 OK", JSON, doc.render())
+        }
+        _ => match path.strip_prefix("/trace/").and_then(|id| id.parse::<u64>().ok()) {
+            Some(id) => match trace::get(id) {
+                Some(t) => ("200 OK", JSON, t.to_json().render()),
+                None => ("404 Not Found", TEXT, format!("trace {id} not stored\n")),
+            },
+            None => ("404 Not Found", TEXT, "not found\n".into()),
+        },
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

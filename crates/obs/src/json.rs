@@ -101,8 +101,13 @@ impl Json {
     }
 
     /// Parses one JSON document; trailing whitespace is permitted.
+    ///
+    /// Hostile inputs are rejected rather than absorbed: trailing content,
+    /// lone UTF-16 surrogate escapes, and nesting deeper than
+    /// `MAX_PARSE_DEPTH` (which would otherwise overflow the parser's
+    /// recursion) are all errors.
     pub fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -173,9 +178,15 @@ fn write_seq(
     out.push(close);
 }
 
+/// Maximum array/object nesting depth the parser accepts. The parser is
+/// recursive, so unbounded nesting would let a tiny input (`[[[[…`) overflow
+/// the stack; 256 is far beyond anything the telemetry sink emits.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -215,10 +226,29 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(format!("nesting deeper than {MAX_PARSE_DEPTH} at byte {}", self.pos))
+        } else {
+            Ok(())
         }
     }
 
@@ -294,15 +324,9 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return Err("truncated \\u escape".into());
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -317,6 +341,43 @@ impl Parser<'_> {
                     self.pos += c.len_utf8();
                 }
             }
+        }
+    }
+
+    /// Four hex digits starting at `pos` (just past the `\u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decodes a `\uXXXX` escape, consuming a second `\uXXXX` when the first
+    /// is a UTF-16 high surrogate. Lone or out-of-order surrogates are
+    /// errors: pushing U+FFFD silently would make the writer/parser pair
+    /// non-roundtripping.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let at = self.pos;
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                    return Err(format!("lone high surrogate \\u{code:04x} at byte {at}"));
+                }
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return Err(format!("invalid low surrogate \\u{low:04x} at byte {at}"));
+                }
+                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| format!("bad surrogate pair at byte {at}"))
+            }
+            0xDC00..=0xDFFF => Err(format!("lone low surrogate \\u{code:04x} at byte {at}")),
+            _ => char::from_u32(code).ok_or_else(|| format!("bad \\u escape at byte {at}")),
         }
     }
 
@@ -470,5 +531,31 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode_surrogate_pairs() {
+        assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
+        assert_eq!(Json::parse("\"\\u00E9\"").unwrap(), Json::Str("é".into()));
+        // Astral plane via a UTF-16 surrogate pair.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        // Lone, reversed, or truncated surrogates are rejected.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        assert!(Json::parse(r#""\u12""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_hostile_nesting() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let n = MAX_PARSE_DEPTH + 1;
+        let too_deep = format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&too_deep).is_err());
+        // A bomb that never closes must not overflow the stack either.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
     }
 }

@@ -1,22 +1,37 @@
-//! # imcat-obs — telemetry for the IMCAT training stack
+//! # imcat-obs — live concurrent telemetry for the IMCAT stack
 //!
 //! A zero-dependency observability layer: counters, gauges, fixed-bucket
-//! timing histograms, scoped span timers, structured events, a JSONL sink,
-//! and an end-of-run summary table.
+//! timing histograms with sliding-window percentiles, scoped span timers,
+//! per-request traces, structured events, a JSONL sink, a Prometheus-style
+//! `/metrics` endpoint, and an end-of-run summary table.
 //!
 //! ## Design
 //!
-//! * **Thread-local registry.** The training stack is single-threaded per
-//!   run (the autodiff tape is `Rc`-based); a thread-local registry makes
-//!   recording a plain pointer bump with no atomics, and keeps parallel test
-//!   threads from contaminating each other's measurements.
-//! * **Off by default.** Every recording call first checks one thread-local
-//!   flag; when disabled the instrumented fast paths stay branch-predictable
-//!   and allocation-free. Enable explicitly with [`set_enabled`] or from the
-//!   environment with [`init_from_env`] (`IMCAT_OBS=1` or `IMCAT_OBS_OUT`
-//!   set).
+//! * **Global sharded registry.** Each recording thread owns a shard of
+//!   atomic cells ([`registry`]); `snapshot()` merges every shard, so
+//!   metrics recorded on `imcat-par` workers or concurrent serve threads are
+//!   never lost. Cells are single-writer, so the hot path is a relaxed
+//!   load+store — no locks, no read-modify-write (see [`sketch`]).
+//! * **Off by default.** Every recording call first checks one process-wide
+//!   atomic flag; when disabled the instrumented fast paths stay
+//!   branch-predictable and allocation-free. Enable explicitly with
+//!   [`set_enabled`] or from the environment with [`init_from_env`]
+//!   (`IMCAT_OBS=1`, `IMCAT_OBS_OUT`, `IMCAT_OBS_ADDR`, or
+//!   `IMCAT_OBS_FLUSH_SECS` set).
 //! * **Static keys.** Metric names are `&'static str` so the hot path never
-//!   allocates; dynamic payloads belong in [`emit`]ted events.
+//!   allocates; the hottest call sites can additionally pre-intern a name
+//!   via the [`Counter`]/[`Hist`] handles. Dynamic payloads belong in
+//!   [`emit`]ted events.
+//! * **Live outputs.** [`init_from_env`] can start an HTTP listener
+//!   ([`http`]) serving `/metrics` (Prometheus text) and `/trace/<id>`
+//!   (request traces, see [`trace`]), plus an interval flusher appending
+//!   JSONL snapshots while a run is in flight.
+//!
+//! ## Test isolation
+//!
+//! The registry is process-global, so tests that assert on telemetry must
+//! hold the [`exclusive`] guard; it serialises such tests and resets state
+//! on entry and exit.
 //!
 //! ## Event schema (JSONL)
 //!
@@ -26,17 +41,24 @@
 //! * counters: `{"kind": "counter", "name": "...", "value": n}`
 //! * gauges: `{"kind": "gauge", "name": "...", "value": x}`
 //! * histograms: `{"kind": "hist", "name": "...", "count": n, "sum": s,
-//!   "mean": m, "min": lo, "max": hi, "p50": q, "p99": q}`
+//!   "mean": m, "min": lo, "max": hi, "p50": q, "p99": q,
+//!   "window_count": n, "window_p50": q, "window_p99": q}`
+//! * interval flushes (the live sink): the same histogram/counter payloads
+//!   nested under `{"kind": "flush", "t": ...}` lines.
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+pub mod expo;
+pub mod http;
 mod json;
+pub mod registry;
+pub mod sketch;
+pub mod trace;
 
 pub use json::{Json, ToJson};
+pub use registry::{enabled, register_thread, set_enabled};
 
 /// Histogram bucket upper bounds in seconds: `1µs · 2^i`. Values above the
 /// last bound land in an overflow bucket.
@@ -69,8 +91,7 @@ pub struct Histogram {
 impl Histogram {
     /// Records one value.
     pub fn record(&mut self, v: f64) {
-        let idx = BUCKET_BOUNDS.iter().position(|&b| v <= b).unwrap_or(BUCKET_BOUNDS.len());
-        self.buckets[idx] += 1;
+        self.buckets[sketch::bucket_index(v)] += 1;
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -82,6 +103,25 @@ impl Histogram {
         self.sum += v;
     }
 
+    /// Folds `other` into `self` (used when merging registry shards).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+
     /// Mean of recorded values (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -91,21 +131,31 @@ impl Histogram {
         }
     }
 
-    /// Bucket-resolution quantile estimate: the upper bound of the bucket
-    /// containing the `q`-quantile observation.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// Bucket-resolution quantile estimate, or `None` when the histogram is
+    /// empty. The estimate is the upper bound of the bucket containing the
+    /// `q`-quantile observation, clamped to the observed `[min, max]` range —
+    /// so a histogram holding a single value (or a single occupied bucket)
+    /// reports that value exactly instead of an interpolated bucket bound.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i < BUCKET_BOUNDS.len() { BUCKET_BOUNDS[i] } else { self.max };
+                let bound = if i < BUCKET_BOUNDS.len() { BUCKET_BOUNDS[i] } else { self.max };
+                return Some(bound.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// [`Histogram::try_quantile`] with a documented `0.0` sentinel for the
+    /// empty histogram (keeps downstream reports NaN-free).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
     }
 }
 
@@ -145,19 +195,6 @@ impl Event {
     }
 }
 
-#[derive(Default)]
-struct Registry {
-    enabled: bool,
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    hists: BTreeMap<&'static str, Histogram>,
-    events: Vec<Event>,
-}
-
-thread_local! {
-    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
-}
-
 fn epoch_instant() -> Instant {
     use std::sync::OnceLock;
     static START: OnceLock<Instant> = OnceLock::new();
@@ -169,29 +206,28 @@ pub fn now_seconds() -> f64 {
     epoch_instant().elapsed().as_secs_f64()
 }
 
-/// Turns recording on or off for the current thread.
-pub fn set_enabled(on: bool) {
-    if on {
-        // Anchor the event clock before the first measurement.
-        let _ = epoch_instant();
-    }
-    REGISTRY.with(|r| r.borrow_mut().enabled = on);
-}
-
-/// Whether recording is on for the current thread.
-#[inline]
-pub fn enabled() -> bool {
-    REGISTRY.with(|r| r.borrow().enabled)
-}
-
-/// Enables recording when `IMCAT_OBS` is truthy or `IMCAT_OBS_OUT` is set;
-/// returns the resulting enabled state.
+/// Enables recording when `IMCAT_OBS` is truthy or any of `IMCAT_OBS_OUT`,
+/// `IMCAT_OBS_ADDR`, `IMCAT_OBS_FLUSH_SECS` is set; returns the resulting
+/// enabled state. Starts the live HTTP endpoint and the interval flusher
+/// when their knobs are present (failures are reported, never fatal).
 pub fn init_from_env() -> bool {
+    let addr = std::env::var("IMCAT_OBS_ADDR").ok();
+    let flush_secs = std::env::var("IMCAT_OBS_FLUSH_SECS").ok().and_then(|v| v.parse::<f64>().ok());
     let on =
         matches!(std::env::var("IMCAT_OBS").ok().as_deref(), Some("1") | Some("true") | Some("on"))
-            || out_path().is_some();
+            || out_path().is_some()
+            || addr.is_some()
+            || flush_secs.is_some();
     if on {
         set_enabled(true);
+        if let Some(addr) = addr {
+            if let Err(e) = http::start(&addr) {
+                eprintln!("imcat-obs: cannot serve /metrics on {addr}: {e}");
+            }
+        }
+        if let Some(secs) = flush_secs {
+            start_flusher(secs);
+        }
     }
     on
 }
@@ -201,70 +237,124 @@ pub fn out_path() -> Option<PathBuf> {
     std::env::var_os("IMCAT_OBS_OUT").map(PathBuf::from)
 }
 
-/// Clears all recorded metrics and events on this thread (the enabled flag
-/// is preserved).
+/// Clears all recorded metrics, events, and stored traces across every
+/// thread's shard (the enabled flag is preserved).
 pub fn reset() {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        reg.counters.clear();
-        reg.gauges.clear();
-        reg.hists.clear();
-        reg.events.clear();
-    });
+    registry::reset();
+    trace::reset();
 }
 
 /// Adds `v` to a named counter.
 #[inline]
 pub fn counter_add(name: &'static str, v: u64) {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        if reg.enabled {
-            *reg.counters.entry(name).or_insert(0) += v;
-        }
-    });
+    if enabled() {
+        registry::counter_add(name, v);
+    }
 }
 
 /// Sets a named gauge.
 #[inline]
 pub fn gauge_set(name: &'static str, v: f64) {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        if reg.enabled {
-            reg.gauges.insert(name, v);
-        }
-    });
+    if enabled() {
+        registry::gauge_set(name, v);
+    }
 }
 
 /// Records a duration (seconds) into a named histogram.
 #[inline]
 pub fn observe(name: &'static str, seconds: f64) {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        if reg.enabled {
-            reg.hists.entry(name).or_default().record(seconds);
-        }
-    });
+    if enabled() {
+        registry::observe(name, seconds);
+    }
 }
 
 /// Appends a structured event.
 pub fn emit(kind: &str, fields: Vec<(&str, Json)>) {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        if reg.enabled {
-            let t = now_seconds();
-            reg.events.push(Event {
-                t,
-                kind: kind.to_string(),
-                fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-            });
+    if enabled() {
+        registry::emit(Event {
+            t: now_seconds(),
+            kind: kind.to_string(),
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+}
+
+/// Pre-interned counter handle for hot call sites. Declare as a `static`;
+/// the name is interned on first use, after which [`Counter::add`] skips the
+/// name hash entirely (one id-indexed slot load plus the cell bump).
+pub struct Counter {
+    name: &'static str,
+    id: std::sync::OnceLock<u32>,
+}
+
+impl Counter {
+    /// A handle for counter `name` (usable in `static` position).
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, id: std::sync::OnceLock::new() }
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if enabled() {
+            let id = *self.id.get_or_init(|| registry::intern(self.name));
+            registry::counter_add_id(id, self.name, v);
         }
-    });
+    }
+}
+
+/// Pre-interned histogram handle for hot call sites; see [`Counter`].
+pub struct Hist {
+    name: &'static str,
+    id: std::sync::OnceLock<u32>,
+}
+
+impl Hist {
+    /// A handle for histogram `name` (usable in `static` position).
+    pub const fn new(name: &'static str) -> Self {
+        Hist { name, id: std::sync::OnceLock::new() }
+    }
+
+    /// Records a duration (seconds).
+    #[inline]
+    pub fn observe(&self, seconds: f64) {
+        if enabled() {
+            let id = *self.id.get_or_init(|| registry::intern(self.name));
+            registry::observe_id(id, self.name, seconds);
+        }
+    }
+}
+
+/// Serialises telemetry-asserting tests against the process-global registry:
+/// takes the test lock, resets all state, and sets the enabled flag to `on`;
+/// dropping the guard disables recording and resets again.
+pub fn exclusive(on: bool) -> ObsGuard {
+    let guard = registry::lock_test();
+    reset();
+    set_enabled(on);
+    ObsGuard { _lock: guard }
+}
+
+/// Guard returned by [`exclusive`].
+pub struct ObsGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        set_enabled(false);
+        reset();
+    }
 }
 
 /// Scoped timer: on drop, records elapsed seconds into the histogram named
-/// at construction. Inert (and allocation-free) when recording is disabled.
+/// at construction and attaches the span to the in-flight request trace (if
+/// one is installed on this thread). Inert (and allocation-free) when
+/// recording is disabled. Dropping during a panic unwind still records the
+/// duration — the destructor does no allocation-dependent work that could
+/// double-panic — so phase breakdowns stay consistent across caught panics.
 pub struct Span {
-    start: Option<(&'static str, Instant)>,
+    start: Option<(&'static str, Instant, f64)>,
 }
 
 impl Span {
@@ -277,8 +367,10 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, t0)) = self.start.take() {
-            observe(name, t0.elapsed().as_secs_f64());
+        if let Some((name, t0, start_t)) = self.start.take() {
+            let dur = t0.elapsed().as_secs_f64();
+            observe(name, dur);
+            trace::record_span(name, start_t, dur);
         }
     }
 }
@@ -286,18 +378,22 @@ impl Drop for Span {
 /// Opens a [`Span`] recording into histogram `name`.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    Span { start: if enabled() { Some((name, Instant::now())) } else { None } }
+    Span { start: if enabled() { Some((name, Instant::now(), now_seconds())) } else { None } }
 }
 
-/// Immutable copy of the registry state, used for deltas and reporting.
+/// Immutable merged copy of every shard's state, used for deltas and
+/// reporting.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: Vec<(String, u64)>,
     /// Gauge values by name.
     pub gauges: Vec<(String, f64)>,
-    /// Histograms by name.
+    /// Cumulative histograms by name.
     pub hists: Vec<(String, Histogram)>,
+    /// Sliding-window histograms by name (last `IMCAT_OBS_WINDOW_SECS`
+    /// seconds; absent when nothing landed in the window).
+    pub windows: Vec<(String, Histogram)>,
 }
 
 impl Snapshot {
@@ -309,6 +405,11 @@ impl Snapshot {
     /// Histogram by name.
     pub fn hist(&self, name: &str) -> Option<&Histogram> {
         self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Sliding-window histogram by name.
+    pub fn window(&self, name: &str) -> Option<&Histogram> {
+        self.windows.iter().find(|(k, _)| k == name).map(|(_, h)| h)
     }
 
     /// Total seconds recorded into a histogram (0 when absent).
@@ -328,21 +429,32 @@ impl Snapshot {
     }
 }
 
-/// Snapshots the current thread's metrics.
+/// Snapshots the merged state of every thread's shard.
 pub fn snapshot() -> Snapshot {
-    REGISTRY.with(|r| {
-        let reg = r.borrow();
-        Snapshot {
-            counters: reg.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
-            gauges: reg.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
-            hists: reg.hists.iter().map(|(&k, h)| (k.to_string(), h.clone())).collect(),
-        }
-    })
+    registry::snapshot()
 }
 
 /// Clones the buffered events.
 pub fn events() -> Vec<Event> {
-    REGISTRY.with(|r| r.borrow().events.clone())
+    registry::events()
+}
+
+fn hist_json_fields(name: &str, h: &Histogram, window: Option<&Histogram>) -> Json {
+    let w = window.cloned().unwrap_or_default();
+    Json::obj(vec![
+        ("kind", Json::Str("hist".into())),
+        ("name", Json::Str(name.to_string())),
+        ("count", Json::Num(h.count as f64)),
+        ("sum", Json::Num(h.sum)),
+        ("mean", Json::Num(h.mean())),
+        ("min", Json::Num(if h.count == 0 { 0.0 } else { h.min })),
+        ("max", Json::Num(if h.count == 0 { 0.0 } else { h.max })),
+        ("p50", Json::Num(h.quantile(0.5))),
+        ("p99", Json::Num(h.quantile(0.99))),
+        ("window_count", Json::Num(w.count as f64)),
+        ("window_p50", Json::Num(w.quantile(0.5))),
+        ("window_p99", Json::Num(w.quantile(0.99))),
+    ])
 }
 
 fn sink_lines(snap: &Snapshot, events: &[Event]) -> String {
@@ -370,18 +482,7 @@ fn sink_lines(snap: &Snapshot, events: &[Event]) -> String {
         out.push('\n');
     }
     for (name, h) in &snap.hists {
-        let line = Json::obj(vec![
-            ("kind", Json::Str("hist".into())),
-            ("name", Json::Str(name.clone())),
-            ("count", Json::Num(h.count as f64)),
-            ("sum", Json::Num(h.sum)),
-            ("mean", Json::Num(h.mean())),
-            ("min", Json::Num(if h.count == 0 { 0.0 } else { h.min })),
-            ("max", Json::Num(if h.count == 0 { 0.0 } else { h.max })),
-            ("p50", Json::Num(h.quantile(0.5))),
-            ("p99", Json::Num(h.quantile(0.99))),
-        ]);
-        out.push_str(&line.render());
+        out.push_str(&hist_json_fields(name, h, snap.window(name)).render());
         out.push('\n');
     }
     out
@@ -412,6 +513,91 @@ pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// One compact flush line for the live JSONL sink: counters and histogram
+/// window stats nested under a `"flush"` record.
+fn flush_line() -> String {
+    let snap = snapshot();
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect());
+    let hists = Json::Obj(
+        snap.hists
+            .iter()
+            .map(|(k, h)| {
+                let w = snap.window(k).cloned().unwrap_or_default();
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Num(h.count as f64)),
+                        ("p99", Json::Num(h.quantile(0.99))),
+                        ("window_count", Json::Num(w.count as f64)),
+                        ("window_p50", Json::Num(w.quantile(0.5))),
+                        ("window_p99", Json::Num(w.quantile(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let (stored, total, slow) = trace::stats();
+    Json::obj(vec![
+        ("kind", Json::Str("flush".into())),
+        ("t", Json::Num(now_seconds())),
+        ("counters", counters),
+        ("hists", hists),
+        ("traces_stored", Json::Num(stored as f64)),
+        ("traces_total", Json::Num(total as f64)),
+        ("traces_slow", Json::Num(slow as f64)),
+    ])
+    .render()
+}
+
+/// The append path for interval flushes: `IMCAT_OBS_FLUSH_PATH`, else
+/// `IMCAT_OBS_OUT` + `.live`, else `target/obs.live.jsonl`.
+pub fn flush_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("IMCAT_OBS_FLUSH_PATH") {
+        return PathBuf::from(p);
+    }
+    match out_path() {
+        Some(p) => {
+            let mut s = p.into_os_string();
+            s.push(".live");
+            PathBuf::from(s)
+        }
+        None => PathBuf::from("target/obs.live.jsonl"),
+    }
+}
+
+fn start_flusher(interval_secs: f64) {
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+    static STARTED: AtomicBool = AtomicBool::new(false);
+    if interval_secs <= 0.0 || STARTED.swap(true, Relaxed) {
+        return;
+    }
+    let path = flush_path();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::thread::Builder::new()
+        .name("imcat-obs-flush".into())
+        .spawn(move || {
+            use std::io::Write as _;
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs_f64(interval_secs));
+                if !enabled() {
+                    continue;
+                }
+                let line = flush_line();
+                if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+                {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        })
+        .map(|_| ())
+        .unwrap_or_else(|e| eprintln!("imcat-obs: cannot start flusher: {e}"));
+}
+
 /// Human-readable summary of every recorded metric.
 pub fn summary() -> String {
     let snap = snapshot();
@@ -432,6 +618,28 @@ pub fn summary() -> String {
                 h.mean(),
                 h.quantile(0.5),
                 h.quantile(0.99),
+            );
+        }
+    }
+    if !snap.windows.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>12} {:>12} {:>12}",
+            format!("window({}s)", sketch::window_seconds()),
+            "count",
+            "p50(s)",
+            "p95(s)",
+            "p99(s)"
+        );
+        for (name, w) in &snap.windows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>12.9} {:>12.9} {:>12.9}",
+                name,
+                w.count,
+                w.quantile(0.5),
+                w.quantile(0.95),
+                w.quantile(0.99),
             );
         }
     }
@@ -471,18 +679,13 @@ mod tests {
     use super::*;
 
     fn with_clean<T>(f: impl FnOnce() -> T) -> T {
-        set_enabled(true);
-        reset();
-        let out = f();
-        reset();
-        set_enabled(false);
-        out
+        let _guard = exclusive(true);
+        f()
     }
 
     #[test]
     fn disabled_records_nothing() {
-        set_enabled(false);
-        reset();
+        let _guard = exclusive(false);
         counter_add("x", 3);
         observe("h", 0.5);
         emit("e", vec![]);
@@ -519,6 +722,56 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: documented sentinel, no NaN.
+        let h = Histogram::default();
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        // Single value: every quantile is that value exactly, not the bucket
+        // upper bound (0.0003 lands in the (256µs, 512µs] bucket).
+        let mut h = Histogram::default();
+        h.record(3.0e-4);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.0e-4);
+        }
+        // Single occupied bucket: estimates clamp to the observed range.
+        let mut h = Histogram::default();
+        h.record(2.6e-4);
+        h.record(3.0e-4);
+        for q in [0.5, 0.99] {
+            let v = h.quantile(q);
+            assert!((2.6e-4..=3.0e-4).contains(&v), "q{q} = {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_combines_everything() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [1.0e-6, 5.0e-4, 0.25] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [9.0e-6, 40.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, all.count);
+        assert_eq!(a.buckets, all.buckets);
+        assert_eq!(a.min, all.min);
+        assert_eq!(a.max, all.max);
+        assert!((a.sum - all.sum).abs() < 1e-12);
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a.count, before.count);
+        assert_eq!(a.min, before.min);
+    }
+
+    #[test]
     fn counters_aggregate_across_spans() {
         with_clean(|| {
             for _ in 0..4 {
@@ -530,6 +783,24 @@ mod tests {
             assert_eq!(snap.hist_count("op.test.time"), 4);
             assert!(snap.hist_sum("op.test.time") >= 0.0);
             assert_eq!(snap.prefixed_time("op."), snap.hist_sum("op.test.time"));
+            // The sliding window covers "now", so fresh records appear there.
+            assert_eq!(snap.window("op.test.time").map(|w| w.count), Some(4));
+        });
+    }
+
+    #[test]
+    fn static_handles_hit_the_same_cells_as_names() {
+        static REQS: Counter = Counter::new("handle.test.requests");
+        static LAT: Hist = Hist::new("handle.test.seconds");
+        with_clean(|| {
+            REQS.add(2);
+            REQS.add(3);
+            counter_add("handle.test.requests", 1);
+            LAT.observe(0.001);
+            observe("handle.test.seconds", 0.002);
+            let snap = snapshot();
+            assert_eq!(snap.counter("handle.test.requests"), 6);
+            assert_eq!(snap.hist_count("handle.test.seconds"), 2);
         });
     }
 
@@ -557,6 +828,7 @@ mod tests {
                     Some("hist") => {
                         saw_hist = true;
                         assert_eq!(v.get("sum").unwrap().as_f64(), Some(0.5));
+                        assert_eq!(v.get("window_count").unwrap().as_f64(), Some(1.0));
                     }
                     _ => parsed_events.push(Event::from_json(&v).expect("event parses")),
                 }

@@ -1,0 +1,368 @@
+//! Global sharded metric registry.
+//!
+//! Each recording thread owns one [`Shard`] holding atomic cells (counters
+//! and [`AtomicHistogram`]s) keyed by metric name. Cells are written only by
+//! the owning thread — see [`crate::sketch`] for the single-writer contract —
+//! and `snapshot()` merges every shard from any thread, so metrics recorded
+//! on `imcat-par` workers or concurrent serve callers are never lost.
+//!
+//! Shards are registered in a global list on first use and never removed:
+//! when a thread exits its counts must keep contributing to totals. The hot
+//! path resolves `name → cell` through a thread-local pointer-keyed cache
+//! (`PtrMap`), so a steady-state `counter_add` is one hash probe plus one
+//! relaxed load+store.
+//!
+//! Gauges are last-write-wins process globals and events are a bounded
+//! process-global buffer; both are cold paths and live behind a mutex.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::sketch::{current_slot, AtomicHistogram};
+use crate::{Event, Histogram, Snapshot};
+
+/// Upper bound on buffered events so a runaway emitter cannot exhaust memory.
+const MAX_EVENTS: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether recording is on (process-wide).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Turns recording on or off for the whole process.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Anchor the event clock before the first measurement.
+        let _ = crate::now_seconds();
+    }
+    ENABLED.store(on, Relaxed);
+}
+
+/// One thread's cells. The maps are cold-path (touched once per new name per
+/// thread); lookups go through the thread-local caches afterwards.
+#[derive(Default)]
+pub struct Shard {
+    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
+    hists: Mutex<Vec<(&'static str, Arc<AtomicHistogram>)>>,
+}
+
+impl Shard {
+    fn counter_cell(&self, name: &'static str) -> Arc<AtomicU64> {
+        let mut cells = lock(&self.counters);
+        if let Some((_, c)) = cells.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        cells.push((name, Arc::clone(&cell)));
+        cell
+    }
+
+    fn hist_cell(&self, name: &'static str) -> Arc<AtomicHistogram> {
+        let mut cells = lock(&self.hists);
+        if let Some((_, h)) = cells.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(h);
+        }
+        let cell = Arc::new(AtomicHistogram::new());
+        cells.push((name, Arc::clone(&cell)));
+        cell
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn shards() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static SHARDS: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn gauges() -> &'static Mutex<BTreeMap<&'static str, f64>> {
+    static GAUGES: OnceLock<Mutex<BTreeMap<&'static str, f64>>> = OnceLock::new();
+    GAUGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn events_buf() -> &'static Mutex<Vec<Event>> {
+    static EVENTS: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interned metric names for the static-handle API ([`crate::Counter`],
+/// [`crate::Hist`]): id = index into this table.
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns `name`, returning its stable id.
+pub(crate) fn intern(name: &'static str) -> u32 {
+    let mut table = lock(names());
+    if let Some(i) = table.iter().position(|&n| n == name) {
+        return i as u32;
+    }
+    table.push(name);
+    (table.len() - 1) as u32
+}
+
+/// Open-addressing map keyed by the address of a `&'static str`. Metric
+/// names are string literals, so the same call site always presents the same
+/// pointer; distinct literals with equal text simply occupy two cache rows
+/// that resolve (through the shard) to the same cell.
+struct PtrMap<V> {
+    slots: Vec<Option<(usize, V)>>,
+    len: usize,
+}
+
+impl<V: Clone> PtrMap<V> {
+    fn new() -> Self {
+        PtrMap { slots: vec![None; 16], len: 0 }
+    }
+
+    #[inline]
+    fn idx(&self, key: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) & (self.slots.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, key: usize) -> Option<&V> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.idx(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, v)) if *k == key => return Some(v),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: usize, value: V) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            let grown = vec![None; self.slots.len() * 2];
+            let old = std::mem::replace(&mut self.slots, grown);
+            self.len = 0;
+            for (k, v) in old.into_iter().flatten() {
+                self.insert_raw(k, v);
+            }
+        }
+        self.insert_raw(key, value);
+    }
+
+    fn insert_raw(&mut self, key: usize, value: V) {
+        let mask = self.slots.len() - 1;
+        let mut i = self.idx(key);
+        while let Some((k, _)) = &self.slots[i] {
+            if *k == key {
+                self.slots[i] = Some((key, value));
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Some((key, value));
+        self.len += 1;
+    }
+}
+
+/// Thread-local view: this thread's shard plus cell caches.
+struct Local {
+    shard: Arc<Shard>,
+    counters: PtrMap<Arc<AtomicU64>>,
+    hists: PtrMap<Arc<AtomicHistogram>>,
+    counter_ids: Vec<Option<Arc<AtomicU64>>>,
+    hist_ids: Vec<Option<Arc<AtomicHistogram>>>,
+}
+
+impl Local {
+    fn new() -> Self {
+        let shard = Arc::new(Shard::default());
+        lock(shards()).push(Arc::clone(&shard));
+        Local {
+            shard,
+            counters: PtrMap::new(),
+            hists: PtrMap::new(),
+            counter_ids: Vec::new(),
+            hist_ids: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::new());
+}
+
+/// Registers the calling thread's shard eagerly. Worker pools call this on
+/// spawn so the first hot-path record doesn't pay the registration lock.
+pub fn register_thread() {
+    LOCAL.with(|_| {});
+}
+
+/// Adds `v` to this thread's cell for counter `name`.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let key = name.as_ptr() as usize;
+        if let Some(c) = l.counters.get(key) {
+            c.store(c.load(Relaxed) + v, Relaxed);
+            return;
+        }
+        let cell = l.shard.counter_cell(name);
+        cell.store(cell.load(Relaxed) + v, Relaxed);
+        l.counters.insert(key, cell);
+    });
+}
+
+/// Records `seconds` into this thread's cell for histogram `name`.
+#[inline]
+pub fn observe(name: &'static str, seconds: f64) {
+    let slot = current_slot();
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let key = name.as_ptr() as usize;
+        if let Some(h) = l.hists.get(key) {
+            h.record(seconds, slot);
+            return;
+        }
+        let cell = l.shard.hist_cell(name);
+        cell.record(seconds, slot);
+        l.hists.insert(key, cell);
+    });
+}
+
+/// Counter bump through an interned id (the [`crate::Counter`] handle path).
+#[inline]
+pub(crate) fn counter_add_id(id: u32, name: &'static str, v: u64) {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let i = id as usize;
+        if let Some(Some(c)) = l.counter_ids.get(i) {
+            c.store(c.load(Relaxed) + v, Relaxed);
+            return;
+        }
+        let cell = l.shard.counter_cell(name);
+        cell.store(cell.load(Relaxed) + v, Relaxed);
+        if l.counter_ids.len() <= i {
+            l.counter_ids.resize(i + 1, None);
+        }
+        l.counter_ids[i] = Some(cell);
+    });
+}
+
+/// Histogram record through an interned id (the [`crate::Hist`] handle path).
+#[inline]
+pub(crate) fn observe_id(id: u32, name: &'static str, seconds: f64) {
+    let slot = current_slot();
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let i = id as usize;
+        if let Some(Some(h)) = l.hist_ids.get(i) {
+            h.record(seconds, slot);
+            return;
+        }
+        let cell = l.shard.hist_cell(name);
+        cell.record(seconds, slot);
+        if l.hist_ids.len() <= i {
+            l.hist_ids.resize(i + 1, None);
+        }
+        l.hist_ids[i] = Some(cell);
+    });
+}
+
+/// Sets gauge `name` (process-global, last write wins).
+pub fn gauge_set(name: &'static str, v: f64) {
+    lock(gauges()).insert(name, v);
+}
+
+/// Appends an event to the bounded process-global buffer.
+pub fn emit(event: Event) {
+    let mut buf = lock(events_buf());
+    if buf.len() < MAX_EVENTS {
+        buf.push(event);
+    }
+}
+
+/// Clones the buffered events.
+pub fn events() -> Vec<Event> {
+    lock(events_buf()).clone()
+}
+
+/// Merges every shard into one [`Snapshot`]. Zero-valued counters and empty
+/// histograms are skipped so a freshly [`reset`] registry snapshots empty.
+pub fn snapshot() -> Snapshot {
+    let now_slot = current_slot();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let mut windows: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for shard in lock(shards()).iter() {
+        for (name, cell) in lock(&shard.counters).iter() {
+            let v = cell.load(Relaxed);
+            if v > 0 {
+                *counters.entry(name).or_insert(0) += v;
+            }
+        }
+        for (name, cell) in lock(&shard.hists).iter() {
+            if cell.count() == 0 {
+                continue;
+            }
+            cell.merge_cumulative(hists.entry(name).or_default());
+            cell.merge_window(windows.entry(name).or_default(), now_slot);
+        }
+    }
+    Snapshot {
+        counters: counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        gauges: lock(gauges()).iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        hists: hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        windows: windows
+            .into_iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    }
+}
+
+/// Sliding-window quantile of one histogram, merged across shards without
+/// building a full snapshot. `None` when nothing landed in the window.
+pub fn window_quantile(name: &str, q: f64) -> Option<f64> {
+    let now_slot = current_slot();
+    let mut merged = Histogram::default();
+    for shard in lock(shards()).iter() {
+        for (n, cell) in lock(&shard.hists).iter() {
+            if *n == name {
+                cell.merge_window(&mut merged, now_slot);
+            }
+        }
+    }
+    merged.try_quantile(q)
+}
+
+/// Zeroes every cell in every shard and clears gauges and events. Cells stay
+/// registered (cheap), so cached handles remain valid across resets.
+pub fn reset() {
+    for shard in lock(shards()).iter() {
+        for (_, cell) in lock(&shard.counters).iter() {
+            cell.store(0, Relaxed);
+        }
+        for (_, cell) in lock(&shard.hists).iter() {
+            cell.clear();
+        }
+    }
+    lock(gauges()).clear();
+    lock(events_buf()).clear();
+}
+
+/// Serialises tests that assert on registry contents. The registry is
+/// process-global, so concurrent test threads would otherwise contaminate
+/// each other's measurements; see [`crate::exclusive`].
+pub(crate) fn test_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+pub(crate) fn lock_test() -> MutexGuard<'static, ()> {
+    test_lock().lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,107 @@
+//! Regression tests for the sharded registry: metrics recorded on other OS
+//! threads must be visible in `snapshot()` (they were silently lost by the
+//! old thread-local registry), and `Span` must stay correct across panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn counters_from_second_os_thread_appear_in_snapshot() {
+    let _guard = imcat_obs::exclusive(true);
+    imcat_obs::counter_add("xthread.requests", 1);
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(|| {
+                imcat_obs::register_thread();
+                for _ in 0..100 {
+                    imcat_obs::counter_add("xthread.requests", 1);
+                    imcat_obs::observe("xthread.seconds", 1.0e-4);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = imcat_obs::snapshot();
+    // The old thread-local registry reported 1 here: the worker threads'
+    // bumps lived in registries that died with their threads.
+    assert_eq!(snap.counter("xthread.requests"), 201);
+    assert_eq!(snap.hist_count("xthread.seconds"), 200);
+    assert_eq!(snap.window("xthread.seconds").map(|w| w.count), Some(200));
+}
+
+#[test]
+fn no_increment_lost_under_concurrency() {
+    let _guard = imcat_obs::exclusive(true);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..PER_THREAD {
+                    imcat_obs::counter_add("hammer.total", 1);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Each thread writes only its own shard cell, so the merged total is
+    // exact — not merely approximate.
+    assert_eq!(imcat_obs::snapshot().counter("hammer.total"), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn dead_threads_metrics_persist() {
+    let _guard = imcat_obs::exclusive(true);
+    std::thread::spawn(|| imcat_obs::counter_add("ghost.requests", 7)).join().unwrap();
+    // The thread is gone; its shard (and counts) must remain.
+    assert_eq!(imcat_obs::snapshot().counter("ghost.requests"), 7);
+}
+
+#[test]
+fn span_dropped_during_unwind_still_records() {
+    let _guard = imcat_obs::exclusive(true);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _outer = imcat_obs::span("panic.outer");
+        {
+            let _inner = imcat_obs::span("panic.inner");
+            panic!("boom");
+        }
+    }));
+    assert!(result.is_err());
+    let snap = imcat_obs::snapshot();
+    // Both spans unwound through their destructors and recorded durations.
+    assert_eq!(snap.hist_count("panic.inner"), 1);
+    assert_eq!(snap.hist_count("panic.outer"), 1);
+
+    // Recording still works after the unwind — the registry state is not
+    // corrupted — and nesting accounting stays consistent: the outer span
+    // covers at least the inner one.
+    {
+        let _s = imcat_obs::span("panic.after");
+    }
+    let snap = imcat_obs::snapshot();
+    assert_eq!(snap.hist_count("panic.after"), 1);
+    assert!(snap.hist_sum("panic.outer") >= snap.hist_sum("panic.inner"));
+}
+
+#[test]
+fn span_inside_traced_request_survives_panic() {
+    let _guard = imcat_obs::exclusive(true);
+    let mut trace_id = None;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let t = imcat_obs::trace::request("panic.request", "panic.request.seconds", true);
+        trace_id = t.id();
+        let _s = imcat_obs::span("panic.traced.span");
+        panic!("mid-request");
+    }));
+    assert!(result.is_err());
+    // The request trace closed during unwind and captured the span.
+    let trace = imcat_obs::trace::get(trace_id.expect("id minted")).expect("trace stored");
+    assert_eq!(trace.spans.len(), 1);
+    assert_eq!(trace.spans[0].name, "panic.traced.span");
+    // No handle leaked into the thread-local slot.
+    assert!(imcat_obs::trace::current().is_none());
+}

@@ -1,0 +1,78 @@
+//! End-to-end test of the live telemetry endpoint: bind an ephemeral port,
+//! record metrics and a trace, then speak HTTP/1.1 over a raw `TcpStream`
+//! exactly as a scraper would.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+/// One test drives every route: the listener is process-global (a `OnceLock`
+/// bound address), so separate #[test] fns would race over shared state.
+#[test]
+fn endpoint_serves_metrics_traces_and_health() {
+    let _guard = imcat_obs::exclusive(true);
+    let addr = imcat_obs::http::start("127.0.0.1:0").expect("bind ephemeral port");
+    assert_eq!(imcat_obs::http::bound_addr(), Some(addr));
+    // Idempotent: a second start returns the same address.
+    assert_eq!(imcat_obs::http::start("127.0.0.1:0").expect("restart"), addr);
+
+    imcat_obs::counter_add("serve.requests", 5);
+    imcat_obs::observe("serve.request.seconds", 0.002);
+    imcat_obs::observe("serve.request.seconds", 0.004);
+    let trace_id = {
+        let t = imcat_obs::trace::request("serve.request", "serve.request.seconds", true);
+        let _s = imcat_obs::span("serve.score.seconds");
+        t.id().expect("enabled => id")
+    };
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("imcat_serve_requests 5"), "missing counter:\n{body}");
+    assert!(body.contains("imcat_serve_request_seconds_count 2"), "missing hist:\n{body}");
+    assert!(body.contains("imcat_serve_request_seconds_window{quantile=\"0.99\"}"));
+    assert!(!body.contains("NaN"));
+
+    let (status, body) = get(addr, &format!("/trace/{trace_id}"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = imcat_obs::Json::parse(&body).expect("trace body is JSON");
+    assert_eq!(doc.get("id").and_then(imcat_obs::Json::as_f64), Some(trace_id as f64));
+    let spans = doc.get("spans").and_then(imcat_obs::Json::as_array).expect("spans array");
+    assert!(
+        spans.iter().any(|s| s.get("name").and_then(imcat_obs::Json::as_str)
+            == Some("serve.score.seconds")),
+        "span missing from trace:\n{body}"
+    );
+
+    let (status, body) = get(addr, "/traces");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = imcat_obs::Json::parse(&body).expect("traces body is JSON");
+    assert!(doc.get("total").and_then(imcat_obs::Json::as_f64).unwrap_or(0.0) >= 1.0);
+
+    let (status, body) = get(addr, "/snapshot");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = imcat_obs::Json::parse(&body).expect("snapshot body is JSON");
+    assert_eq!(
+        doc.get("counters").and_then(|c| c.get("serve.requests")).and_then(imcat_obs::Json::as_f64),
+        Some(5.0)
+    );
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = get(addr, "/trace/999999999");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = get(addr, "/trace/not-a-number");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+}

@@ -1,0 +1,137 @@
+//! Property tests for the hand-rolled JSON writer/parser pair: random
+//! documents (escape-heavy strings, astral-plane characters, deep nesting)
+//! must round-trip exactly through both the compact and pretty renderers,
+//! and malformed inputs must be rejected.
+
+use imcat_obs::Json;
+use proptest::prelude::*;
+
+/// Character pool biased toward what the escaper has to work hardest on:
+/// quotes, backslashes, control characters, multi-byte and astral scalars.
+const CHAR_POOL: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{8}',
+    '\u{c}',
+    '\u{1}',
+    '\u{1f}',
+    'é',
+    'ß',
+    '中',
+    '\u{2028}',
+    '😀',
+    '𝔘',
+    '\u{10FFFF}',
+];
+
+/// Strategy for arbitrary [`Json`] documents with nesting up to `depth`.
+/// `proptest-compat` has no recursion combinator, so recursion is explicit.
+struct JsonStrategy {
+    depth: usize,
+}
+
+fn gen_string(gen: &mut proptest::Gen) -> String {
+    let len = gen.below(9) as usize;
+    (0..len).map(|_| CHAR_POOL[gen.below(CHAR_POOL.len() as u64) as usize]).collect()
+}
+
+fn gen_number(gen: &mut proptest::Gen) -> f64 {
+    match gen.below(4) {
+        0 => gen.below(2_000_000) as f64 - 1_000_000.0,
+        1 => gen.unit_f64() * 2.0 - 1.0,
+        2 => (gen.unit_f64() - 0.5) * 1.0e18,
+        _ => gen.unit_f64() * 1.0e-12,
+    }
+}
+
+fn gen_value(gen: &mut proptest::Gen, depth: usize) -> Json {
+    let kinds = if depth == 0 { 4 } else { 6 };
+    match gen.below(kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(gen.below(2) == 0),
+        2 => Json::Num(gen_number(gen)),
+        3 => Json::Str(gen_string(gen)),
+        4 => {
+            let n = gen.below(4) as usize;
+            Json::Arr((0..n).map(|_| gen_value(gen, depth - 1)).collect())
+        }
+        _ => {
+            let n = gen.below(4) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", gen_string(gen)), gen_value(gen, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl Strategy for JsonStrategy {
+    type Value = Json;
+
+    fn generate(&self, gen: &mut proptest::Gen) -> Json {
+        gen_value(gen, self.depth)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn roundtrip_compact_and_pretty(v in JsonStrategy { depth: 4 }) {
+        let compact = Json::parse(&v.render());
+        prop_assert_eq!(compact.as_ref(), Ok(&v), "compact: {}", v.render());
+        let pretty = Json::parse(&v.pretty());
+        prop_assert_eq!(pretty.as_ref(), Ok(&v), "pretty: {}", v.pretty());
+    }
+
+    #[test]
+    fn trailing_garbage_always_rejected(v in JsonStrategy { depth: 2 }) {
+        // No digit suffix: appending a digit to a bare-number document just
+        // extends the number into another valid document.
+        for suffix in ["x", "{}", " ]", ",null"] {
+            let text = format!("{}{suffix}", v.render());
+            prop_assert!(Json::parse(&text).is_err(), "accepted: {text}");
+        }
+    }
+}
+
+#[test]
+fn escape_sequences_roundtrip() {
+    let s = "quote:\" backslash:\\ slash:/ nl:\n cr:\r tab:\t bs:\u{8} ff:\u{c} nul-ish:\u{1}";
+    let v = Json::Str(s.to_string());
+    assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    // All standard short escapes parse.
+    assert_eq!(
+        Json::parse(r#""\" \\ \/ \n \r \t \b \f""#).unwrap(),
+        Json::Str("\" \\ / \n \r \t \u{8} \u{c}".to_string())
+    );
+}
+
+#[test]
+fn unicode_forms_agree() {
+    // The same scalar via literal, BMP escape, and surrogate-pair escape.
+    assert_eq!(Json::parse("\"\\u00e9\"").unwrap(), Json::parse("\"é\"").unwrap());
+    assert_eq!(Json::parse("\"\\uD83D\\uDE00\"").unwrap(), Json::parse("\"😀\"").unwrap());
+    // Escaped control characters re-render escaped and round-trip.
+    let v = Json::parse("\"\\u0007\"").unwrap();
+    assert_eq!(v, Json::Str("\u{7}".to_string()));
+    assert_eq!(Json::parse(&v.render()).unwrap(), v);
+}
+
+#[test]
+fn deeply_nested_documents_roundtrip() {
+    let mut v = Json::Num(1.0);
+    for i in 0..64 {
+        v = if i % 2 == 0 { Json::Arr(vec![v]) } else { Json::Obj(vec![("k".to_string(), v)]) };
+    }
+    assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+}

@@ -29,9 +29,17 @@
 //!
 //! Dispatches are recorded through `imcat-obs` on the submitting thread
 //! (`pool.tasks` counter, `pool.queue_depth` gauge, `pool.dispatch` span).
-//! Workers cannot reach the caller's thread-local registry, so per-worker
-//! busy time accumulates in atomics; [`flush_obs`] folds those into the
-//! `pool.worker.busy` histogram at report time.
+//! The obs registry is globally sharded, so counters and spans recorded
+//! inside chunk closures on worker threads land in `snapshot()` like any
+//! other metric; workers register their shard eagerly on spawn. Per-worker
+//! busy time still accumulates in pool-local atomics — it spans many
+//! dispatches — and [`flush_obs`] folds it into the `pool.worker.busy`
+//! histogram at report time.
+//!
+//! Request traces propagate across the dispatch boundary: when the
+//! submitting thread has an active `imcat_obs::trace` handle, each executor
+//! re-installs it for the duration of its chunks, so spans recorded on
+//! workers attach to the submitter's in-flight trace.
 
 #![warn(missing_docs)]
 
@@ -65,6 +73,9 @@ struct ActiveJob {
     cursor: AtomicUsize,
     completed: Mutex<usize>,
     done: Condvar,
+    /// The submitter's in-flight request trace, re-installed on every
+    /// executor so worker-side spans attach to it.
+    trace: Option<imcat_obs::trace::TraceHandle>,
 }
 
 struct PoolState {
@@ -89,6 +100,7 @@ impl Shared {
     /// reports how many this executor ran. Returns only when the cursor is
     /// drained (other executors may still be running their last chunk).
     fn run_chunks(&self, job: &ActiveJob, slot: usize) {
+        let _trace = job.trace.as_ref().map(|h| imcat_obs::trace::enter(h.clone()));
         let t0 = Instant::now();
         let mut ran = 0usize;
         loop {
@@ -119,6 +131,9 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, slot: usize) {
     IN_POOL.with(|f| f.set(true));
+    // Register this worker's obs shard up front so the first chunk's metric
+    // records skip the registration lock.
+    imcat_obs::register_thread();
     let mut last_epoch = 0u64;
     loop {
         let job = {
@@ -227,6 +242,7 @@ impl Pool {
             cursor: AtomicUsize::new(0),
             completed: Mutex::new(0),
             done: Condvar::new(),
+            trace: imcat_obs::trace::current(),
         });
         {
             let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());

@@ -66,3 +66,47 @@ proptest! {
         }
     }
 }
+
+/// Regression: counters bumped inside pool chunk closures must reach
+/// `snapshot()`. Under the old thread-local obs registry, bumps landing on
+/// worker threads were recorded into registries nobody ever read, so this
+/// test undercounted whenever the pool actually fanned out.
+#[test]
+fn worker_thread_metrics_reach_snapshot() {
+    let _guard = imcat_obs::exclusive(true);
+    let pool = Pool::new(4);
+    pool.parallel_for(0..1000, 8, |_| {
+        imcat_obs::counter_add("par.test.work_items", 1);
+    });
+    // Hold the pool alive until after the snapshot: visibility must not
+    // depend on worker shutdown.
+    let snap = imcat_obs::snapshot();
+    assert_eq!(snap.counter("par.test.work_items"), 1000);
+    drop(pool);
+    // Shards survive worker teardown too.
+    assert_eq!(imcat_obs::snapshot().counter("par.test.work_items"), 1000);
+}
+
+/// Spans recorded inside pool chunks attach to the submitter's in-flight
+/// request trace: the handle crosses the dispatch boundary with the job.
+#[test]
+fn traces_propagate_into_pool_workers() {
+    let _guard = imcat_obs::exclusive(true);
+    let pool = Pool::new(4);
+    let id = {
+        let t = imcat_obs::trace::request("par.test.request", "par.test.seconds", true);
+        pool.parallel_for(0..16, 1, |_| {
+            let _s = imcat_obs::span("par.test.chunk.seconds");
+        });
+        t.id().expect("enabled => id minted")
+    };
+    let trace = imcat_obs::trace::get(id).expect("trace stored");
+    let chunk_spans = trace.spans.iter().filter(|s| s.name == "par.test.chunk.seconds").count();
+    assert_eq!(chunk_spans, 16, "every chunk span attached: {:?}", trace.spans);
+    // The dispatch itself shows up too, recorded on the submitting thread.
+    assert!(trace.spans.iter().any(|s| s.name == "pool.dispatch"));
+    // Worker thread-locals are clean after the dispatch.
+    pool.parallel_for(0..4, 1, |_| {
+        assert!(imcat_obs::trace::current().is_none());
+    });
+}

@@ -22,6 +22,18 @@
 //! The engine falls back to brute force (counted as `ann.fallbacks`) for
 //! cold users (all-zero embedding, where centroid ranking is meaningless),
 //! fully-masked users, and probes too sparse to fill the requested `k`.
+//!
+//! ## Telemetry
+//!
+//! Every request mints a trace id through `imcat_obs::trace` — sampled
+//! requests (and every batch tick) collect their span breakdown (scoring,
+//! ANN probe, pool dispatch) into the live trace store served at
+//! `/trace/<id>`; unsampled requests still surface as span-less exemplars
+//! when they exceed the slow threshold. Hot-path counters
+//! (`serve.requests`, `serve.cache.hits`/`misses`, `serve.ticks`) and the
+//! latency histograms go through pre-interned [`imcat_obs::Counter`] /
+//! [`imcat_obs::Hist`] handles so the per-request overhead stays in the
+//! tens of nanoseconds.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -36,6 +48,13 @@ use imcat_obs::Histogram;
 use imcat_tensor::Tensor;
 
 use crate::cache::{CacheKey, LruCache};
+
+static OBS_REQUESTS: imcat_obs::Counter = imcat_obs::Counter::new("serve.requests");
+static OBS_REQUEST_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("serve.request.seconds");
+static OBS_TICKS: imcat_obs::Counter = imcat_obs::Counter::new("serve.ticks");
+static OBS_TICK_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("serve.tick.seconds");
+static OBS_CACHE_HITS: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.hits");
+static OBS_CACHE_MISSES: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.misses");
 
 /// Serving engine configuration.
 #[derive(Clone, Debug)]
@@ -298,6 +317,7 @@ impl Engine {
                 imcat_obs::counter_add("ann.fallbacks", 1);
             }
         }
+        let _score = imcat_obs::span("serve.score.seconds");
         let scores = self.score_user(user);
         self.top_k(user, k, &scores)
     }
@@ -307,25 +327,29 @@ impl Engine {
         for _ in 0..requests {
             self.latency.record(seconds);
         }
-        if imcat_obs::enabled() {
-            imcat_obs::counter_add("serve.requests", requests);
-            imcat_obs::observe("serve.request.seconds", seconds);
-        }
+        OBS_REQUESTS.add(requests);
+        OBS_REQUEST_SECONDS.observe(seconds);
     }
 
     /// Answers one request: the top `k` unseen items for `user`, best first.
+    ///
+    /// Mints a per-request trace id; sampled requests collect their span
+    /// breakdown into the live trace store (`/trace/<id>`).
     pub fn recommend(&mut self, user: u32, k: usize) -> Vec<Recommendation> {
         assert!(
             (user as usize) < self.artifact.n_users(),
             "user {user} out of range (artifact has {} users)",
             self.artifact.n_users()
         );
+        let _trace = imcat_obs::trace::request("serve.request", "serve.request.seconds", false);
         let t0 = Instant::now();
         if let Some(cached) = self.cache.get((user, k)) {
             let out = cached.to_vec();
+            OBS_CACHE_HITS.add(1);
             self.account(1, t0.elapsed().as_secs_f64());
             return out;
         }
+        OBS_CACHE_MISSES.add(1);
         let out = self.compute(user, k);
         self.cache.put((user, k), out.clone());
         self.account(1, t0.elapsed().as_secs_f64());
@@ -339,10 +363,14 @@ impl Engine {
     /// bit-identical to what [`Engine::recommend`] returns for the same
     /// request.
     pub fn recommend_batch(&mut self, requests: &[(u32, usize)]) -> Vec<Vec<Recommendation>> {
+        // Ticks are rare and information-dense, so their traces are always
+        // sampled: the tick's matmul/probe/dispatch spans all attach.
+        let _trace = imcat_obs::trace::request("serve.tick", "serve.tick.seconds", true);
         let t0 = Instant::now();
         let mut outputs: Vec<Option<Vec<Recommendation>>> = Vec::with_capacity(requests.len());
         let mut miss_keys: Vec<CacheKey> = Vec::new();
         let mut miss_index: HashMap<CacheKey, usize> = HashMap::new();
+        let mut hits = 0u64;
         for &(user, k) in requests {
             assert!(
                 (user as usize) < self.artifact.n_users(),
@@ -350,6 +378,7 @@ impl Engine {
                 self.artifact.n_users()
             );
             if let Some(cached) = self.cache.get((user, k)) {
+                hits += 1;
                 outputs.push(Some(cached.to_vec()));
             } else {
                 outputs.push(None);
@@ -402,10 +431,10 @@ impl Engine {
         }
         let dt = t0.elapsed().as_secs_f64();
         self.account(requests.len() as u64, dt);
-        if imcat_obs::enabled() {
-            imcat_obs::counter_add("serve.ticks", 1);
-            imcat_obs::observe("serve.tick.seconds", dt);
-        }
+        OBS_CACHE_HITS.add(hits);
+        OBS_CACHE_MISSES.add(requests.len() as u64 - hits);
+        OBS_TICKS.add(1);
+        OBS_TICK_SECONDS.observe(dt);
         outputs.into_iter().map(|o| o.expect("every request answered")).collect()
     }
 

@@ -46,15 +46,22 @@ pub use store::{Param, ParamId, ParamStore};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;
 
+static OBS_MATMUL_COUNT: imcat_obs::Counter = imcat_obs::Counter::new("op.matmul.count");
+static OBS_MATMUL_FLOPS: imcat_obs::Counter = imcat_obs::Counter::new("op.matmul.flops");
+static OBS_SPMM_COUNT: imcat_obs::Counter = imcat_obs::Counter::new("op.spmm.count");
+static OBS_SPMM_NNZ: imcat_obs::Counter = imcat_obs::Counter::new("op.spmm.nnz");
+static OBS_SPMM_FLOPS: imcat_obs::Counter = imcat_obs::Counter::new("op.spmm.flops");
+
 /// Telemetry helper for the dense matmul kernels: times the kernel under
 /// `op.matmul` and counts multiply-add FLOPs. Inert unless
-/// [`imcat_obs::enabled`].
+/// [`imcat_obs::enabled`]. Uses static [`imcat_obs::Counter`] handles so the
+/// hot path skips the per-call name lookup.
 #[inline]
 pub(crate) fn obs_matmul(m: usize, k: usize, n: usize) -> imcat_obs::Span {
     let sp = imcat_obs::span("op.matmul");
     if sp.active() {
-        imcat_obs::counter_add("op.matmul.count", 1);
-        imcat_obs::counter_add("op.matmul.flops", 2 * (m * k * n) as u64);
+        OBS_MATMUL_COUNT.add(1);
+        OBS_MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     }
     sp
 }
@@ -65,9 +72,9 @@ pub(crate) fn obs_matmul(m: usize, k: usize, n: usize) -> imcat_obs::Span {
 pub(crate) fn obs_spmm(nnz: usize, dense_cols: usize) -> imcat_obs::Span {
     let sp = imcat_obs::span("op.spmm");
     if sp.active() {
-        imcat_obs::counter_add("op.spmm.count", 1);
-        imcat_obs::counter_add("op.spmm.nnz", nnz as u64);
-        imcat_obs::counter_add("op.spmm.flops", 2 * (nnz * dense_cols) as u64);
+        OBS_SPMM_COUNT.add(1);
+        OBS_SPMM_NNZ.add(nnz as u64);
+        OBS_SPMM_FLOPS.add(2 * (nnz * dense_cols) as u64);
     }
     sp
 }

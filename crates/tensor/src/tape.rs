@@ -24,14 +24,21 @@ use crate::tensor::Tensor;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
 
+static OBS_GATHER_COUNT: imcat_obs::Counter = imcat_obs::Counter::new("op.gather.count");
+static OBS_GATHER_ELEMENTS: imcat_obs::Counter = imcat_obs::Counter::new("op.gather.elements");
+static OBS_EW_COUNT: imcat_obs::Counter = imcat_obs::Counter::new("op.elementwise.count");
+static OBS_EW_ELEMENTS: imcat_obs::Counter = imcat_obs::Counter::new("op.elementwise.elements");
+static OBS_BACKWARD_COUNT: imcat_obs::Counter = imcat_obs::Counter::new("op.backward.count");
+static OBS_BACKWARD_NODES: imcat_obs::Counter = imcat_obs::Counter::new("op.backward.nodes");
+
 /// Telemetry for embedding gathers: timed under `op.gather`, with invocation
 /// and copied-element counters. Inert unless telemetry is enabled.
 #[inline]
 fn obs_gather(rows: usize, cols: usize) -> imcat_obs::Span {
     let sp = imcat_obs::span("op.gather");
     if sp.active() {
-        imcat_obs::counter_add("op.gather.count", 1);
-        imcat_obs::counter_add("op.gather.elements", (rows * cols) as u64);
+        OBS_GATHER_COUNT.add(1);
+        OBS_GATHER_ELEMENTS.add((rows * cols) as u64);
     }
     sp
 }
@@ -42,8 +49,8 @@ fn obs_gather(rows: usize, cols: usize) -> imcat_obs::Span {
 fn obs_elementwise(elements: usize) -> imcat_obs::Span {
     let sp = imcat_obs::span("op.elementwise");
     if sp.active() {
-        imcat_obs::counter_add("op.elementwise.count", 1);
-        imcat_obs::counter_add("op.elementwise.elements", elements as u64);
+        OBS_EW_COUNT.add(1);
+        OBS_EW_ELEMENTS.add(elements as u64);
     }
     sp
 }
@@ -561,8 +568,8 @@ impl Tape {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be a scalar");
         let _sp = imcat_obs::span("phase.backward");
         if _sp.active() {
-            imcat_obs::counter_add("op.backward.count", 1);
-            imcat_obs::counter_add("op.backward.nodes", self.nodes.len() as u64);
+            OBS_BACKWARD_COUNT.add(1);
+            OBS_BACKWARD_NODES.add(self.nodes.len() as u64);
         }
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
