@@ -98,7 +98,7 @@ imcat_obs::impl_to_json!(Row {
 fn replay(engine: &mut Engine, stream: &[(u32, usize)]) -> (f64, f64) {
     let t0 = Instant::now();
     for &(u, k) in stream {
-        let recs = engine.recommend(u, k);
+        let recs = engine.recommend(u, k).expect("in-range request must be served");
         debug_assert!(recs.len() <= k);
     }
     let wall = t0.elapsed().as_secs_f64();
@@ -116,7 +116,12 @@ fn recall_at(engine: &mut Engine, truth: &[Vec<u32>], k: usize) -> f64 {
         if exact.is_empty() {
             continue;
         }
-        let got: Vec<u32> = engine.recommend(u as u32, k).iter().map(|r| r.item).collect();
+        let got: Vec<u32> = engine
+            .recommend(u as u32, k)
+            .expect("in-range request")
+            .iter()
+            .map(|r| r.item)
+            .collect();
         let hit = exact.iter().filter(|i| got.contains(i)).count();
         recall += hit as f64 / exact.len() as f64;
         counted += 1;
@@ -194,7 +199,7 @@ fn main() {
     // Brute-force baseline + exact per-user top-50 ground truth.
     let mut brute = Engine::load(&artifact_path, uncached.clone()).expect("artifact must load");
     let truth: Vec<Vec<u32>> = (0..data.n_users() as u32)
-        .map(|u| brute.recommend(u, 50).iter().map(|r| r.item).collect())
+        .map(|u| brute.recommend(u, 50).expect("in-range request").iter().map(|r| r.item).collect())
         .collect();
     let (brute_qps, brute_mean) = replay(&mut brute, &stream);
 

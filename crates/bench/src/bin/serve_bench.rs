@@ -24,6 +24,25 @@
 //!   last model's batch ticks for this many seconds so a scraper can hit the
 //!   live `/metrics` endpoint (`IMCAT_OBS_ADDR`); default 0 (exit at once)
 //!
+//! After the in-process table, the **network frontier** phase starts a real
+//! `imcat-net` TCP front-end over the last model's artifact per shard count
+//! and drives it over sockets: a closed-loop pass maps the capacity at each
+//! shard count, then open-loop passes offer fixed fractions of that
+//! capacity (the >1x factor deliberately overloads the admission queue so
+//! load shedding — fast `503`s counted as `serve.shed` — is exercised).
+//! Results land in `target/experiments/net_frontier.json`. Knobs:
+//!
+//! * `IMCAT_NET_FRONTIER` — `0` skips the phase (default 1)
+//! * `IMCAT_NET_SHARD_COUNTS` — comma list of shard counts (default `1,2,4`)
+//! * `IMCAT_NET_REQUESTS` — socket requests per pass (default 600)
+//! * `IMCAT_NET_CONNS` — closed-loop persistent connections (default 8)
+//! * `IMCAT_NET_SENDERS` — open-loop sender threads (default 16)
+//! * `IMCAT_NET_OPEN_FACTORS` — open-loop offered rate as fractions of the
+//!   measured closed-loop capacity (default `0.6,1.5`)
+//! * plus the server's own `IMCAT_NET_WORKERS` / `IMCAT_NET_QUEUE` /
+//!   `IMCAT_NET_BATCH` / `IMCAT_NET_TICK_US` / `IMCAT_NET_DEADLINE_MS`
+//!   (see `imcat_net::NetConfig::from_env`)
+//!
 //! Usage: `cargo run --release -p imcat-bench --bin serve_bench`
 
 use std::path::PathBuf;
@@ -103,13 +122,14 @@ fn replay(
     let t0 = Instant::now();
     if batch <= 1 {
         for &(u, k) in stream {
-            let recs = engine.recommend(u, k);
+            let recs = engine.recommend(u, k).expect("in-range request must be served");
             assert!(!recs.is_empty(), "served an empty list for user {u}");
         }
     } else {
         for tick in stream.chunks(batch) {
             let out = engine.recommend_batch(tick);
             assert_eq!(out.len(), tick.len());
+            assert!(out.iter().all(Result::is_ok), "in-range batch request rejected");
         }
     }
     let wall = t0.elapsed().as_secs_f64();
@@ -127,6 +147,108 @@ fn replay(
         cache_hit_rate: stats.cache_hits as f64 / total as f64,
         cached_lists: engine.cached_lists(),
     }
+}
+
+struct NetRow {
+    model: String,
+    shards: usize,
+    report: imcat_net::LoadReport,
+    server_shed: u64,
+    server_timeouts: u64,
+}
+
+imcat_obs::impl_to_json!(NetRow { model, shards, report, server_shed, server_timeouts });
+
+fn env_list(key: &str, default: &str) -> Vec<f64> {
+    let raw = std::env::var(key).unwrap_or_else(|_| default.to_string());
+    raw.split(',').filter_map(|v| v.trim().parse().ok()).collect()
+}
+
+/// Maps the latency/QPS frontier per shard count over real sockets.
+fn net_frontier(
+    log: &mut ExpLog,
+    artifact: &imcat_serve::Artifact,
+    model: &str,
+    stream: &[(u32, usize)],
+    cache: usize,
+) {
+    let shard_counts: Vec<usize> =
+        env_list("IMCAT_NET_SHARD_COUNTS", "1,2,4").into_iter().map(|v| v as usize).collect();
+    let n_requests = env_usize("IMCAT_NET_REQUESTS", 600).max(1).min(stream.len());
+    let conns = env_usize("IMCAT_NET_CONNS", 8);
+    let senders = env_usize("IMCAT_NET_SENDERS", 16);
+    let factors = env_list("IMCAT_NET_OPEN_FACTORS", "0.6,1.5");
+    let net_stream = &stream[..n_requests];
+    let serve_cfg = imcat_serve::ServeConfig { cache_capacity: cache, ..Default::default() };
+
+    logln!(
+        log,
+        "net frontier: {} requests/pass, {conns} closed-loop conns, {senders} open-loop senders",
+        n_requests
+    );
+    logln!(
+        log,
+        "{:<7} {:<7} {:>10} {:>10} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "shards",
+        "mode",
+        "offer_qps",
+        "ach_qps",
+        "ok",
+        "shed",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)"
+    );
+    let mut rows: Vec<NetRow> = Vec::new();
+    for &shards in &shard_counts {
+        let mut net_cfg = imcat_net::NetConfig::from_env();
+        net_cfg.shards = shards;
+        let server = imcat_net::Server::start(artifact, &serve_cfg, net_cfg, "127.0.0.1:0")
+            .expect("front-end must bind an ephemeral port");
+        let addr = server.addr();
+
+        let closed = imcat_net::closed_loop(addr, net_stream, conns);
+        let capacity = closed.achieved_qps;
+        let mut reports = vec![closed];
+        for &f in &factors {
+            let rate = (capacity * f).max(10.0);
+            reports.push(imcat_net::open_loop(addr, net_stream, rate, senders));
+        }
+        let stats = server.stats();
+        for report in reports {
+            logln!(
+                log,
+                "{:<7} {:<7} {:>10.0} {:>10.0} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1}",
+                shards,
+                report.mode,
+                report.offered_qps,
+                report.achieved_qps,
+                report.ok,
+                report.shed,
+                report.p50_us,
+                report.p95_us,
+                report.p99_us
+            );
+            rows.push(NetRow {
+                model: model.to_string(),
+                shards,
+                report,
+                server_shed: stats.shed,
+                server_timeouts: stats.timeouts,
+            });
+        }
+        logln!(
+            log,
+            "shards={shards}: server answered {} of {} requests, shed {}, timeouts {}",
+            stats.answered,
+            stats.requests,
+            stats.shed,
+            stats.timeouts
+        );
+        server.shutdown();
+    }
+    let path = write_json("net_frontier", &rows);
+    logln!(log, "net frontier written to {}", path.display());
 }
 
 fn main() {
@@ -222,6 +344,15 @@ fn main() {
 
     let path = write_json("serve_bench", &rows);
     logln!(log, "report written to {}", path.display());
+
+    // Network frontier: real sockets, sharded replicas, closed + open loop.
+    if env_usize("IMCAT_NET_FRONTIER", 1) != 0 {
+        let last = kinds[kinds.len() - 1];
+        let artifact_path = art_dir.join(format!("{}.artifact", last.name()));
+        let artifact =
+            imcat_serve::Artifact::load(&artifact_path).expect("frontier artifact must load");
+        net_frontier(&mut log, &artifact, last.name(), &stream, cache);
+    }
 
     // Optional hold phase: keep a live engine ticking so an external scraper
     // can observe the /metrics endpoint and resolve trace exemplars while the

@@ -144,6 +144,15 @@ pub struct TopKScratch {
 
 /// The top-`n` unmasked item indices of one score row, reusing `scratch`.
 /// `mask` must be sorted ascending (training-item lists are).
+///
+/// Ranking uses the *canonical* order (score descending, then index
+/// ascending): a strict total order with no ties, so the selected head is a
+/// pure function of the `(index, score)` candidate *set* — independent of
+/// candidate enumeration order, and monotone under supersets: any candidate
+/// subset that contains the canonical head selects exactly that head. This
+/// is what lets distributed rankers (per-shard top-K in `imcat-net`, ANN
+/// shortlists) re-rank a union of partial results bit-identically to one
+/// full scan.
 pub fn top_n_masked_with<'a>(
     scores: &[f32],
     mask: &[u32],
@@ -160,11 +169,13 @@ pub fn top_n_masked_with<'a>(
             .map(|(j, s)| (j as u32, s))
             .filter(|(j, _)| mask.binary_search(j).is_err()),
     );
-    // Partial selection then exact ordering of the head.
+    // Partial selection then exact ordering of the head, both under the
+    // canonical tie-free comparator.
+    let canon = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     let n = n.min(ranked.len());
     if n > 0 {
-        ranked.select_nth_unstable_by(n - 1, |a, b| b.1.total_cmp(&a.1));
-        ranked[..n].sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.select_nth_unstable_by(n - 1, canon);
+        ranked[..n].sort_unstable_by(canon);
     }
     scratch.top.clear();
     scratch.top.extend(ranked[..n].iter().map(|&(j, _)| j));

@@ -1,0 +1,266 @@
+//! Minimal HTTP/1.1 plumbing for the serving front-end — `std`-only, built
+//! on the same parsing discipline as `imcat-obs`'s telemetry endpoint
+//! (bounded heads, total deadlines, tail-overlap terminator scans) but
+//! extended to persistent connections carrying many requests.
+//!
+//! Server side: [`Conn`] wraps an accepted `TcpStream` with a carry-over
+//! read buffer (pipelined bytes past one head belong to the next request)
+//! and writes keep-alive aware responses. Client side: [`read_response`]
+//! parses one status + `Content-Length` delimited body, for the load
+//! generators.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum request/response head size. Anything larger is malformed.
+pub const MAX_HEAD: usize = 8 * 1024;
+/// Per-read/write socket timeout; total deadlines cap it further.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Plain-text content type.
+pub const TEXT: &str = "text/plain; charset=utf-8";
+/// JSON content type.
+pub const JSON: &str = "application/json; charset=utf-8";
+
+/// One parsed request head (bodies are ignored: every route is a GET).
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, ...).
+    pub method: String,
+    /// Raw request target, query string included.
+    pub target: String,
+    /// Whether the connection persists after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The target's path with any query string or fragment stripped.
+    pub fn path(&self) -> &str {
+        self.target.split(['?', '#']).next().unwrap_or(&self.target)
+    }
+
+    /// The raw value of query parameter `key`, if present. No percent
+    /// decoding: the serving API's parameters are numeric.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query
+            .split('#')
+            .next()
+            .unwrap_or(query)
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(name, _)| *name == key)
+            .map(|(_, value)| value)
+    }
+}
+
+/// A server-side connection: socket plus carry-over buffer, so pipelined
+/// bytes read past one request head are not lost to the next.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already known to not contain the head terminator
+    /// (minus a 3-byte overlap) — keeps slow-client scans linear.
+    scanned: usize,
+}
+
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..].windows(4).position(|w| w == b"\r\n\r\n").map(|p| from + p + 4)
+}
+
+impl Conn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // Request/response exchanges are single small packets; leaving Nagle
+        // on costs a delayed-ACK round (~40ms) per keep-alive exchange.
+        let _ = stream.set_nodelay(true);
+        Self { stream, buf: Vec::with_capacity(512), scanned: 0 }
+    }
+
+    /// Reads one request head, enforcing `deadline` across every read.
+    ///
+    /// Returns `Ok(None)` on a clean close between requests (the idle end
+    /// of a keep-alive connection). A timeout surfaces as
+    /// [`io::ErrorKind::TimedOut`]; an oversized or malformed head as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_request(&mut self, deadline: Instant) -> io::Result<Option<Request>> {
+        loop {
+            let from = self.scanned.saturating_sub(3).min(self.buf.len());
+            if let Some(end) = find_head_end(&self.buf, from) {
+                let head: Vec<u8> = self.buf.drain(..end).collect();
+                self.scanned = 0;
+                return parse_head(&head).map(Some);
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() >= MAX_HEAD {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded"));
+            };
+            self.stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)))?;
+            let mut chunk = [0u8; 1024];
+            let n = match self.stream.read(&mut chunk) {
+                Ok(n) => n,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))
+                };
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Writes one response. `keep_alive: false` advertises
+    /// `Connection: close`; the caller is expected to drop the connection.
+    pub fn respond(
+        &mut self,
+        status: &str,
+        content_type: &str,
+        body: &str,
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        write_response(&mut self.stream, status, content_type, body, keep_alive)
+    }
+}
+
+fn parse_head(head: &[u8]) -> io::Result<Request> {
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.lines();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if method.is_empty() || target.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // Connection header overrides either way.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    Ok(Request { method, target, keep_alive })
+}
+
+/// Writes one response onto a raw stream (used by [`Conn::respond`] and by
+/// the acceptor's fast-shed path, which never builds a `Conn`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One coalesced write: a head-then-body pair of small writes interacts
+    // with Nagle + delayed ACK into ~40ms stalls on keep-alive connections.
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Client side: reads one `Content-Length` delimited response from
+/// `stream`, carrying leftover bytes across calls in `buf` (keep-alive).
+/// Returns the status code and body.
+pub fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<(u16, String)> {
+    let mut chunk = [0u8; 2048];
+    let end = loop {
+        // Responses are small (one head + one JSON body), so the rescan from
+        // 0 stays cheap; the buffer is drained after every response.
+        if let Some(end) = find_head_end(buf, 0) {
+            break end;
+        }
+        if buf.len() >= MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed mid-response"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let len: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing content-length"))?;
+    while buf.len() < end + len {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[end..end + len]).to_string();
+    buf.drain(..end + len);
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_path_and_query_parsing() {
+        let req = Request {
+            method: "GET".into(),
+            target: "/recommend?user=7&k=20#frag".into(),
+            keep_alive: true,
+        };
+        assert_eq!(req.path(), "/recommend");
+        assert_eq!(req.query("user"), Some("7"));
+        assert_eq!(req.query("k"), Some("20"));
+        assert_eq!(req.query("missing"), None);
+        let bare = Request { method: "GET".into(), target: "/healthz".into(), keep_alive: true };
+        assert_eq!(bare.path(), "/healthz");
+        assert_eq!(bare.query("user"), None);
+    }
+
+    #[test]
+    fn head_parsing_versions_and_connection_header() {
+        let req = parse_head(b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = parse_head(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_head(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse_head(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        assert!(parse_head(b"\r\n\r\n").is_err());
+    }
+}

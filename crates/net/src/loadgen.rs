@@ -1,0 +1,244 @@
+//! Socket-level load generators for the serving front-end.
+//!
+//! Two disciplines, because they answer different questions:
+//!
+//! * [`closed_loop`] — `conns` persistent keep-alive connections, each
+//!   issuing its next request the moment the previous response lands.
+//!   Measures the *capacity* frontier: the highest QPS the server sustains
+//!   at that concurrency.
+//! * [`open_loop`] — requests fire on a fixed schedule (`rate` QPS)
+//!   regardless of how slow responses are, one connection per request, and
+//!   latency is measured from the request's *scheduled* send time. A slow
+//!   server therefore accrues queueing delay in the numbers instead of
+//!   silently throttling the generator — the coordinated-omission trap a
+//!   closed loop falls into.
+//!
+//! Shed responses (`503`) are counted separately from errors and excluded
+//! from the latency distribution: they measure the admission controller,
+//! not the serving path.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::http::read_response;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One load-generation run's outcome.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Requests attempted.
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: u64,
+    /// `503` responses (admission control shed the request).
+    pub shed: u64,
+    /// Everything else: connect failures, resets, non-200/503 statuses.
+    pub errors: u64,
+    /// Wall-clock of the whole run in seconds.
+    pub wall_secs: f64,
+    /// Offered rate (open loop) or 0 (closed loop offers "as fast as
+    /// responses return").
+    pub offered_qps: f64,
+    /// Successful answers per second of wall-clock.
+    pub achieved_qps: f64,
+    /// Latency quantiles over successful requests, microseconds. Open loop
+    /// measures from the scheduled send time.
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+imcat_obs::impl_to_json!(LoadReport {
+    mode,
+    requests,
+    ok,
+    shed,
+    errors,
+    wall_secs,
+    offered_qps,
+    achieved_qps,
+    p50_us,
+    p95_us,
+    p99_us,
+    mean_us,
+});
+
+struct Tally {
+    latencies: Vec<f64>,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Self { latencies: Vec::new(), ok: 0, shed: 0, errors: 0 }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn report(
+    mode: &str,
+    requests: usize,
+    offered_qps: f64,
+    wall: f64,
+    tallies: Vec<Tally>,
+) -> LoadReport {
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for t in tallies {
+        latencies.extend(t.latencies);
+        ok += t.ok;
+        shed += t.shed;
+        errors += t.errors;
+    }
+    latencies.sort_unstable_by(f64::total_cmp);
+    let mean = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    LoadReport {
+        mode: mode.to_string(),
+        requests,
+        ok,
+        shed,
+        errors,
+        wall_secs: wall,
+        offered_qps,
+        achieved_qps: ok as f64 / wall.max(1e-9),
+        p50_us: percentile(&latencies, 0.50) * 1e6,
+        p95_us: percentile(&latencies, 0.95) * 1e6,
+        p99_us: percentile(&latencies, 0.99) * 1e6,
+        mean_us: mean * 1e6,
+    }
+}
+
+fn send_request(stream: &mut TcpStream, user: u32, k: usize) -> io::Result<()> {
+    let head = format!("GET /recommend?user={user}&k={k} HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Replays `stream` over `conns` persistent connections, each issuing its
+/// share back-to-back. Returns the capacity-side [`LoadReport`].
+pub fn closed_loop(addr: SocketAddr, stream: &[(u32, usize)], conns: usize) -> LoadReport {
+    let conns = conns.max(1);
+    let t0 = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = Tally::new();
+                    let Ok(mut tcp) = connect(addr) else {
+                        tally.errors = stream.iter().skip(c).step_by(conns).count() as u64;
+                        return tally;
+                    };
+                    let mut buf = Vec::new();
+                    for &(user, k) in stream.iter().skip(c).step_by(conns) {
+                        let sent = Instant::now();
+                        if send_request(&mut tcp, user, k).is_err() {
+                            tally.errors += 1;
+                            break;
+                        }
+                        match read_response(&mut tcp, &mut buf) {
+                            Ok((200, _)) => {
+                                tally.ok += 1;
+                                tally.latencies.push(sent.elapsed().as_secs_f64());
+                            }
+                            Ok((503, _)) => tally.shed += 1,
+                            Ok(_) => tally.errors += 1,
+                            Err(_) => {
+                                tally.errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread")).collect()
+    });
+    report("closed", stream.len(), 0.0, t0.elapsed().as_secs_f64(), tallies)
+}
+
+/// Fires `stream` at a fixed `rate` (QPS) spread over `senders` threads,
+/// one connection per request. Latency is measured from each request's
+/// scheduled time, so server-side queueing shows up instead of throttling
+/// the generator.
+pub fn open_loop(
+    addr: SocketAddr,
+    stream: &[(u32, usize)],
+    rate: f64,
+    senders: usize,
+) -> LoadReport {
+    let senders = senders.max(1);
+    let rate = rate.max(1.0);
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..senders)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut tally = Tally::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= stream.len() {
+                            return tally;
+                        }
+                        let (user, k) = stream[i];
+                        let offset = Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(ahead) = (t0 + offset).checked_duration_since(Instant::now()) {
+                            std::thread::sleep(ahead);
+                        }
+                        let outcome = (|| -> io::Result<(u16, String)> {
+                            let mut tcp = connect(addr)?;
+                            send_request(&mut tcp, user, k)?;
+                            let mut buf = Vec::new();
+                            read_response(&mut tcp, &mut buf)
+                        })();
+                        // Coordinated-omission-aware: latency from the
+                        // *scheduled* send, not the actual one.
+                        let waited = t0.elapsed().saturating_sub(offset).as_secs_f64();
+                        match outcome {
+                            Ok((200, _)) => {
+                                tally.ok += 1;
+                                tally.latencies.push(waited);
+                            }
+                            Ok((503, _)) => tally.shed += 1,
+                            _ => tally.errors += 1,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread")).collect()
+    });
+    report("open", stream.len(), rate, t0.elapsed().as_secs_f64(), tallies)
+}
+
+fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(CONNECT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONNECT_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}

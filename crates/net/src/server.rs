@@ -1,0 +1,542 @@
+//! The serving front-end: acceptor → bounded admission queue → connection
+//! workers → micro-batch tick over a [`ShardedEngine`].
+//!
+//! ## Thread anatomy
+//!
+//! * **1 acceptor** — accepts sockets and pushes them onto a bounded
+//!   connection queue. When the queue is full the socket is answered with a
+//!   fast `503` *on the acceptor thread* and closed: overload costs one
+//!   response write, never an unbounded backlog.
+//! * **N workers** — each pops a connection and speaks keep-alive HTTP/1.1
+//!   on it: parse a request (total per-request deadline), submit a job,
+//!   block until the batcher fills the job's slot, write the response.
+//! * **1 batcher** — owns the [`ShardedEngine`]. Drains up to `max_batch`
+//!   jobs per tick (lingering `tick_wait` to let a batch fill), answers
+//!   them with one `recommend_batch` fan-out, and wakes the waiting
+//!   workers.
+//!
+//! Admission control is two-stage: the connection queue bounds sockets
+//! waiting for a worker, and the job queue bounds requests waiting for a
+//! tick. Both shed with `503` + the `serve.shed` counter
+//! (`net.shed.conns` / `net.shed.jobs` split the cause); a request whose
+//! deadline lapses while queued gets `504` and `net.timeouts`. Malformed
+//! requests come back as `400` with the [`ServeError`] message — the
+//! engine's typed rejections exist precisely so a stale id on the wire can
+//! never panic a worker.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use imcat_ckpt::Artifact;
+use imcat_obs::Json;
+use imcat_serve::{Recommendation, ServeConfig, ServeError};
+
+use crate::http::{self, Conn, Request, JSON, TEXT};
+use crate::shard::ShardedEngine;
+use crate::{env_u64, env_usize};
+
+static OBS_SHED: imcat_obs::Counter = imcat_obs::Counter::new("serve.shed");
+static OBS_NET_REQUESTS: imcat_obs::Counter = imcat_obs::Counter::new("net.requests");
+static OBS_NET_CONNS: imcat_obs::Counter = imcat_obs::Counter::new("net.connections");
+static OBS_NET_TIMEOUTS: imcat_obs::Counter = imcat_obs::Counter::new("net.timeouts");
+static OBS_NET_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("net.request.seconds");
+
+/// Front-end configuration. Every knob has an `IMCAT_NET_*` environment
+/// variable (see [`NetConfig::from_env`]).
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Engine replicas sharded on the item axis (`IMCAT_NET_SHARDS`).
+    pub shards: usize,
+    /// Connection worker threads (`IMCAT_NET_WORKERS`).
+    pub workers: usize,
+    /// Bounded admission queue capacity, for both connections awaiting a
+    /// worker and jobs awaiting a tick (`IMCAT_NET_QUEUE`). Overflow sheds
+    /// with a fast `503`.
+    pub queue: usize,
+    /// Maximum requests folded into one micro-batch tick
+    /// (`IMCAT_NET_BATCH`).
+    pub max_batch: usize,
+    /// How long a tick lingers for the batch to fill once the first job
+    /// arrives (`IMCAT_NET_TICK_US`, microseconds).
+    pub tick_wait: Duration,
+    /// Total per-request deadline on a connection: head read, queueing and
+    /// the tick all included (`IMCAT_NET_DEADLINE_MS`).
+    pub deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            workers: 4,
+            queue: 64,
+            max_batch: 64,
+            tick_wait: Duration::from_micros(200),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Reads every knob from `IMCAT_NET_*`, defaulting to
+    /// [`NetConfig::default`] for unset or malformed values.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            shards: env_usize("IMCAT_NET_SHARDS", d.shards).max(1),
+            workers: env_usize("IMCAT_NET_WORKERS", d.workers).max(1),
+            queue: env_usize("IMCAT_NET_QUEUE", d.queue).max(1),
+            max_batch: env_usize("IMCAT_NET_BATCH", d.max_batch).max(1),
+            tick_wait: Duration::from_micros(env_u64(
+                "IMCAT_NET_TICK_US",
+                d.tick_wait.as_micros() as u64,
+            )),
+            deadline: Duration::from_millis(env_u64(
+                "IMCAT_NET_DEADLINE_MS",
+                d.deadline.as_millis() as u64,
+            )),
+        }
+    }
+}
+
+/// Front-end counters, snapshotted by [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// `/recommend` requests admitted to parsing.
+    pub requests: u64,
+    /// Requests answered `200`.
+    pub answered: u64,
+    /// Requests shed with `503` (connection- and job-queue overflow).
+    pub shed: u64,
+    /// Requests rejected `400` (bad parameters or a typed engine error).
+    pub rejected: u64,
+    /// Requests that timed out queued or in-flight (`504`/`408`).
+    pub timeouts: u64,
+}
+
+/// One queued request plus the slot its answer lands in.
+struct Job {
+    user: u32,
+    k: usize,
+    slot: Arc<Slot>,
+}
+
+type Answer = Result<Vec<Recommendation>, ServeError>;
+
+/// Single-use rendezvous between a worker and the batcher.
+struct Slot {
+    state: Mutex<Option<Answer>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self { state: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn fill(&self, answer: Answer) {
+        *self.state.lock().unwrap() = Some(answer);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the batcher fills the slot or `deadline` passes.
+    fn wait(&self, deadline: Instant) -> Option<Answer> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(answer) = state.take() {
+                return Some(answer);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (guard, timeout) = self.cv.wait_timeout(state, remaining).unwrap();
+            state = guard;
+            if timeout.timed_out() {
+                return state.take();
+            }
+        }
+    }
+}
+
+/// Bounded MPMC queue: non-blocking bounded push (admission control),
+/// blocking pop that drains remaining items after close, then yields
+/// `None`.
+struct Queue<T> {
+    inner: Mutex<QueueState<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Queue<T> {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admits `item` unless the queue is full or closed; the rejected item
+    /// is handed back so the caller can shed it.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.inner.lock().unwrap();
+        if state.closed || state.items.len() >= self.cap {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<T> {
+        let mut state = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Drains up to `max` items for one tick. Blocks for the first item,
+    /// then lingers up to `wait` for the batch to fill. Returns empty only
+    /// once closed and drained.
+    fn pop_batch(&self, max: usize, wait: Duration) -> Vec<T> {
+        let mut state = self.inner.lock().unwrap();
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+        if state.items.len() < max && !wait.is_zero() {
+            let deadline = Instant::now() + wait;
+            while state.items.len() < max && !state.closed {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let (guard, timeout) = self.cv.wait_timeout(state, remaining).unwrap();
+                state = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let take = state.items.len().min(max);
+        state.items.drain(..take).collect()
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Shared {
+    cfg: NetConfig,
+    conns: Queue<TcpStream>,
+    jobs: Queue<Job>,
+    n_users: u32,
+    n_items: usize,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// The running front-end: bound socket plus its thread complement. Dropping
+/// (or calling [`Server::shutdown`]) stops every thread and joins them.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the sharded engine, binds `addr` (e.g. `127.0.0.1:0` for an
+    /// ephemeral port) and starts the acceptor, workers, and batcher.
+    pub fn start(
+        artifact: &Artifact,
+        serve_cfg: &ServeConfig,
+        cfg: NetConfig,
+        addr: &str,
+    ) -> io::Result<Self> {
+        let engine = ShardedEngine::new(artifact, serve_cfg, cfg.shards)?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            conns: Queue::new(cfg.queue),
+            jobs: Queue::new(cfg.queue),
+            n_users: engine.n_users() as u32,
+            n_items: engine.n_items(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            cfg,
+        });
+        let mut handles = Vec::new();
+        {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("imcat-net-accept".into())
+                    .spawn(move || accept_loop(listener, &shared))?,
+            );
+        }
+        for w in 0..shared.cfg.workers {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("imcat-net-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("imcat-net-batcher".into())
+                    .spawn(move || batcher_loop(engine, &shared))?,
+            );
+        }
+        Ok(Self { addr: local, shared, handles })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the front-end counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            answered: self.shared.answered.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            timeouts: self.shared.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops every thread and joins them. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.conns.close();
+        self.shared.jobs.close();
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        OBS_NET_CONNS.add(1);
+        if let Err(mut stream) = shared.conns.try_push(stream) {
+            // Admission queue full: shed on the acceptor thread with one
+            // cheap write — the queue stays bounded no matter the offered
+            // load.
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            OBS_SHED.add(1);
+            imcat_obs::counter_add("net.shed.conns", 1);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = http::write_response(
+                &mut stream,
+                "503 Service Unavailable",
+                JSON,
+                &error_body("overloaded: connection queue full"),
+                false,
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.conns.pop() {
+        handle_conn(Conn::new(stream), shared);
+    }
+}
+
+fn handle_conn(mut conn: Conn, shared: &Shared) {
+    loop {
+        let deadline = Instant::now() + shared.cfg.deadline;
+        let request = match conn.read_request(deadline) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                OBS_NET_TIMEOUTS.add(1);
+                let _ = conn.respond("408 Request Timeout", TEXT, "timed out\n", false);
+                return;
+            }
+            Err(_) => return,
+        };
+        let keep_alive = request.keep_alive;
+        if serve_one(&mut conn, &request, shared, deadline).is_err() || !keep_alive {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::Str(message.into()))]).render()
+}
+
+fn serve_one(
+    conn: &mut Conn,
+    request: &Request,
+    shared: &Shared,
+    deadline: Instant,
+) -> io::Result<()> {
+    let keep = request.keep_alive;
+    if request.method != "GET" {
+        return conn.respond("405 Method Not Allowed", TEXT, "method not allowed\n", keep);
+    }
+    match request.path() {
+        "/healthz" => conn.respond("200 OK", TEXT, "ok\n", keep),
+        "/stats" => {
+            let body = Json::obj(vec![
+                ("shards", Json::Num(shared.cfg.shards as f64)),
+                ("workers", Json::Num(shared.cfg.workers as f64)),
+                ("queue", Json::Num(shared.cfg.queue as f64)),
+                ("n_users", Json::Num(shared.n_users as f64)),
+                ("n_items", Json::Num(shared.n_items as f64)),
+                ("requests", Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
+                ("answered", Json::Num(shared.answered.load(Ordering::Relaxed) as f64)),
+                ("shed", Json::Num(shared.shed.load(Ordering::Relaxed) as f64)),
+                ("rejected", Json::Num(shared.rejected.load(Ordering::Relaxed) as f64)),
+                ("timeouts", Json::Num(shared.timeouts.load(Ordering::Relaxed) as f64)),
+            ]);
+            conn.respond("200 OK", JSON, &body.render(), keep)
+        }
+        "/recommend" => serve_recommend(conn, request, shared, deadline),
+        _ => conn.respond("404 Not Found", TEXT, "not found\n", keep),
+    }
+}
+
+fn serve_recommend(
+    conn: &mut Conn,
+    request: &Request,
+    shared: &Shared,
+    deadline: Instant,
+) -> io::Result<()> {
+    let keep = request.keep_alive;
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    OBS_NET_REQUESTS.add(1);
+    let user = request.query("user").and_then(|v| v.parse::<u32>().ok());
+    let k = request.query("k").and_then(|v| v.parse::<usize>().ok());
+    let (Some(user), Some(k)) = (user, k) else {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return conn.respond(
+            "400 Bad Request",
+            JSON,
+            &error_body("numeric `user` and `k` query parameters required"),
+            keep,
+        );
+    };
+    let t0 = Instant::now();
+    let slot = Arc::new(Slot::new());
+    if shared.jobs.try_push(Job { user, k, slot: slot.clone() }).is_err() {
+        // Parsed but inadmissible: the tick backlog is at capacity.
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        OBS_SHED.add(1);
+        imcat_obs::counter_add("net.shed.jobs", 1);
+        return conn.respond(
+            "503 Service Unavailable",
+            JSON,
+            &error_body("overloaded: request queue full"),
+            keep,
+        );
+    }
+    match slot.wait(deadline) {
+        None => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            OBS_NET_TIMEOUTS.add(1);
+            conn.respond(
+                "504 Gateway Timeout",
+                JSON,
+                &error_body("request deadline exceeded"),
+                keep,
+            )
+        }
+        Some(Err(e)) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            conn.respond("400 Bad Request", JSON, &error_body(&e.to_string()), keep)
+        }
+        Some(Ok(recs)) => {
+            shared.answered.fetch_add(1, Ordering::Relaxed);
+            OBS_NET_SECONDS.observe(t0.elapsed().as_secs_f64());
+            // `score_bits` carries the exact f32 bit patterns (u32 < 2^53,
+            // so the JSON number is lossless): clients and tests can verify
+            // bit-identity without trusting a decimal round-trip.
+            let body = Json::obj(vec![
+                ("user", Json::Num(user as f64)),
+                ("k", Json::Num(k as f64)),
+                ("items", Json::Arr(recs.iter().map(|r| Json::Num(r.item as f64)).collect())),
+                ("scores", Json::Arr(recs.iter().map(|r| Json::Num(r.score as f64)).collect())),
+                (
+                    "score_bits",
+                    Json::Arr(recs.iter().map(|r| Json::Num(r.score.to_bits() as f64)).collect()),
+                ),
+            ]);
+            conn.respond("200 OK", JSON, &body.render(), keep)
+        }
+    }
+}
+
+fn batcher_loop(mut engine: ShardedEngine, shared: &Shared) {
+    loop {
+        let jobs = shared.jobs.pop_batch(shared.cfg.max_batch, shared.cfg.tick_wait);
+        if jobs.is_empty() {
+            // Empty means closed-and-drained; in-flight slots were all
+            // popped before close took effect.
+            return;
+        }
+        let requests: Vec<(u32, usize)> = jobs.iter().map(|j| (j.user, j.k)).collect();
+        let answers = engine.recommend_batch(&requests);
+        for (job, answer) in jobs.into_iter().zip(answers) {
+            job.slot.fill(answer);
+        }
+    }
+}

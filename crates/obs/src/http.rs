@@ -19,12 +19,17 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::{expo, trace, Json};
 
 const MAX_HEAD: usize = 8 * 1024;
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Total wall-clock budget for one connection, reads *and* writes included.
+/// The handler is single-threaded, so without this a slowloris client
+/// trickling one byte per `IO_TIMEOUT` would hold `/healthz` hostage
+/// indefinitely; with it, any connection is done (or dropped) within 2 s.
+const HANDLE_DEADLINE: Duration = Duration::from_secs(2);
 
 static BOUND: OnceLock<SocketAddr> = OnceLock::new();
 
@@ -57,17 +62,40 @@ pub fn start(addr: &str) -> std::io::Result<SocketAddr> {
 }
 
 fn handle(mut stream: TcpStream) -> std::io::Result<()> {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let deadline = Instant::now() + HANDLE_DEADLINE;
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     loop {
-        let n = stream.read(&mut buf)?;
+        // Enforce the *total* deadline, not just a per-read timeout: cap
+        // every read's timeout by the time remaining on the connection.
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            let _ = respond(&mut stream, "408 Request Timeout", "text/plain", "timed out\n");
+            return Ok(());
+        };
+        let _ = stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)));
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = respond(&mut stream, "408 Request Timeout", "text/plain", "timed out\n");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             break;
         }
+        // Scan only the 3-byte tail overlap plus the fresh bytes for the
+        // head terminator — rescanning the whole buffer on every read made
+        // handling quadratic in head size against slow clients.
+        let scan_from = head.len().saturating_sub(3);
         head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
+        if head[scan_from..].windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD {
             break;
         }
     }
@@ -79,12 +107,15 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
     respond(&mut stream, status, content_type, &body)
 }
 
-fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+fn route(method: &str, target: &str) -> (&'static str, &'static str, String) {
     const TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
     const JSON: &str = "application/json; charset=utf-8";
     if method != "GET" {
         return ("405 Method Not Allowed", TEXT, "method not allowed\n".into());
     }
+    // Scrapers routinely append cache-busting or timestamp parameters
+    // (`GET /metrics?ts=1`); routing matches on the path alone.
+    let path = target.split(['?', '#']).next().unwrap_or(target);
     match path {
         "/metrics" => ("200 OK", TEXT, expo::render_prometheus(&crate::snapshot())),
         "/snapshot" => ("200 OK", JSON, expo::render_snapshot_json(&crate::snapshot()).render()),
@@ -122,4 +153,27 @@ fn respond(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::route;
+
+    #[test]
+    fn route_ignores_query_strings_and_fragments() {
+        // Scrapers append params; every route must resolve with them.
+        assert_eq!(route("GET", "/healthz").0, "200 OK");
+        assert_eq!(route("GET", "/healthz?probe=1").0, "200 OK");
+        assert_eq!(route("GET", "/metrics?ts=1699999999&format=text").0, "200 OK");
+        assert_eq!(route("GET", "/snapshot?").0, "200 OK");
+        assert_eq!(route("GET", "/traces?limit=5#frag").0, "200 OK");
+        // The query is stripped before (not after) prefix matching.
+        assert_eq!(route("GET", "/trace/notanumber?x=1").0, "404 Not Found");
+        assert_eq!(route("GET", "/nope?x=1").0, "404 Not Found");
+    }
+
+    #[test]
+    fn route_rejects_non_get() {
+        assert_eq!(route("POST", "/metrics").0, "405 Method Not Allowed");
+    }
 }

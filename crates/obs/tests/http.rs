@@ -75,4 +75,39 @@ fn endpoint_serves_metrics_traces_and_health() {
     assert_eq!(status, "HTTP/1.1 404 Not Found");
     let (status, _) = get(addr, "/trace/not-a-number");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // Query strings must not break routing: Prometheus-style scrapers append
+    // cache-busting or timestamp parameters.
+    let (status, body) = get(addr, "/healthz?probe=1&ts=2");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+    let (status, body) = get(addr, "/metrics?format=text");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("imcat_serve_requests"));
+
+    // Slowloris containment: a client that opens a connection and trickles a
+    // partial head must be cut off by the total handling deadline (~2 s) —
+    // and a well-behaved probe right behind it must still get through.
+    let t0 = std::time::Instant::now();
+    let mut slow = TcpStream::connect(addr).expect("connect slowloris");
+    slow.write_all(b"GET /hea").expect("partial head");
+    // The handler is sequential, so this health check queues behind the slow
+    // connection and measures how long the server can be stalled.
+    let (status, body) = get(addr, "/healthz");
+    let stalled = t0.elapsed();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+    assert!(
+        stalled < std::time::Duration::from_secs(5),
+        "slowloris stalled /healthz for {stalled:?} (deadline not enforced)"
+    );
+    // The slow connection itself is answered with 408 (or dropped), not
+    // serviced forever.
+    let mut response = String::new();
+    slow.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    let _ = slow.read_to_string(&mut response);
+    assert!(
+        response.is_empty() || response.starts_with("HTTP/1.1 408"),
+        "slowloris connection should time out, got: {response}"
+    );
 }

@@ -37,6 +37,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
@@ -55,6 +56,41 @@ static OBS_TICKS: imcat_obs::Counter = imcat_obs::Counter::new("serve.ticks");
 static OBS_TICK_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("serve.tick.seconds");
 static OBS_CACHE_HITS: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.hits");
 static OBS_CACHE_MISSES: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.misses");
+static OBS_REJECTS: imcat_obs::Counter = imcat_obs::Counter::new("serve.rejects");
+
+/// A request the engine refuses to answer — *never* by panicking.
+///
+/// The serving paths used to `assert!` on malformed requests, which is fine
+/// for an in-process library and fatal for a network worker: one stale or
+/// malicious `(user, k)` pair mid-batch would take the whole process down.
+/// Every request is now validated up front and rejected with a typed error
+/// (counted as `serve.rejects`) while the rest of the tick proceeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The requested user id is outside the artifact's user range.
+    UserOutOfRange {
+        /// The offending user id.
+        user: u32,
+        /// Number of users the live artifact serves.
+        n_users: u32,
+    },
+    /// `k == 0` requests an empty ranking; rejected so a zero cutoff can
+    /// never pollute the cache or divide downstream metrics by zero.
+    ZeroK,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UserOutOfRange { user, n_users } => {
+                write!(f, "user {user} out of range (artifact has {n_users} users)")
+            }
+            Self::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Serving engine configuration.
 #[derive(Clone, Debug)]
@@ -331,55 +367,74 @@ impl Engine {
         OBS_REQUEST_SECONDS.observe(seconds);
     }
 
+    /// Validates one request against the live artifact. Rejections are
+    /// counted (`serve.rejects`) but cost no scoring work and leave no cache
+    /// or latency footprint.
+    fn validate_request(&self, user: u32, k: usize) -> Result<(), ServeError> {
+        let n_users = self.artifact.n_users() as u32;
+        let err = if user >= n_users {
+            ServeError::UserOutOfRange { user, n_users }
+        } else if k == 0 {
+            ServeError::ZeroK
+        } else {
+            return Ok(());
+        };
+        OBS_REJECTS.add(1);
+        Err(err)
+    }
+
     /// Answers one request: the top `k` unseen items for `user`, best first.
+    /// A malformed request (out-of-range user, `k == 0`) is rejected with a
+    /// typed [`ServeError`] — the engine never panics on request data.
     ///
     /// Mints a per-request trace id; sampled requests collect their span
     /// breakdown into the live trace store (`/trace/<id>`).
-    pub fn recommend(&mut self, user: u32, k: usize) -> Vec<Recommendation> {
-        assert!(
-            (user as usize) < self.artifact.n_users(),
-            "user {user} out of range (artifact has {} users)",
-            self.artifact.n_users()
-        );
+    pub fn recommend(&mut self, user: u32, k: usize) -> Result<Vec<Recommendation>, ServeError> {
+        self.validate_request(user, k)?;
         let _trace = imcat_obs::trace::request("serve.request", "serve.request.seconds", false);
         let t0 = Instant::now();
         if let Some(cached) = self.cache.get((user, k)) {
             let out = cached.to_vec();
             OBS_CACHE_HITS.add(1);
             self.account(1, t0.elapsed().as_secs_f64());
-            return out;
+            return Ok(out);
         }
         OBS_CACHE_MISSES.add(1);
         let out = self.compute(user, k);
         self.cache.put((user, k), out.clone());
         self.account(1, t0.elapsed().as_secs_f64());
-        out
+        Ok(out)
     }
 
     /// Answers a tick's worth of concurrent requests. Cache misses are
     /// deduplicated and scored with a *single* `matmul_nt` over the unique
     /// miss users, then ranked per row; results land in the cache before the
-    /// tick returns. Output order matches `requests`, and every list is
-    /// bit-identical to what [`Engine::recommend`] returns for the same
-    /// request.
-    pub fn recommend_batch(&mut self, requests: &[(u32, usize)]) -> Vec<Vec<Recommendation>> {
+    /// tick returns. Output order matches `requests`, and every answer —
+    /// including each rejection — is identical to what [`Engine::recommend`]
+    /// returns for the same request: a malformed request yields its own
+    /// `Err` slot while the rest of the tick is answered normally, so one
+    /// bad request can never abort a batch or take down a worker.
+    pub fn recommend_batch(
+        &mut self,
+        requests: &[(u32, usize)],
+    ) -> Vec<Result<Vec<Recommendation>, ServeError>> {
         // Ticks are rare and information-dense, so their traces are always
         // sampled: the tick's matmul/probe/dispatch spans all attach.
         let _trace = imcat_obs::trace::request("serve.tick", "serve.tick.seconds", true);
         let t0 = Instant::now();
-        let mut outputs: Vec<Option<Vec<Recommendation>>> = Vec::with_capacity(requests.len());
+        type Answer = Result<Vec<Recommendation>, ServeError>;
+        let mut outputs: Vec<Option<Answer>> = Vec::with_capacity(requests.len());
         let mut miss_keys: Vec<CacheKey> = Vec::new();
         let mut miss_index: HashMap<CacheKey, usize> = HashMap::new();
         let mut hits = 0u64;
         for &(user, k) in requests {
-            assert!(
-                (user as usize) < self.artifact.n_users(),
-                "user {user} out of range (artifact has {} users)",
-                self.artifact.n_users()
-            );
+            if let Err(e) = self.validate_request(user, k) {
+                outputs.push(Some(Err(e)));
+                continue;
+            }
             if let Some(cached) = self.cache.get((user, k)) {
                 hits += 1;
-                outputs.push(Some(cached.to_vec()));
+                outputs.push(Some(Ok(cached.to_vec())));
             } else {
                 outputs.push(None);
                 if let Entry::Vacant(slot) = miss_index.entry((user, k)) {
@@ -400,7 +455,7 @@ impl Engine {
             }
             for (slot, &(user, k)) in outputs.iter_mut().zip(requests) {
                 if slot.is_none() {
-                    *slot = Some(fresh[miss_index[&(user, k)]].clone());
+                    *slot = Some(Ok(fresh[miss_index[&(user, k)]].clone()));
                 }
             }
         } else if !miss_keys.is_empty() {
@@ -425,8 +480,25 @@ impl Engine {
             }
             for (slot, &(user, k)) in outputs.iter_mut().zip(requests) {
                 if slot.is_none() {
-                    *slot = Some(fresh[miss_index[&(user, k)]].clone());
+                    *slot = Some(Ok(fresh[miss_index[&(user, k)]].clone()));
                 }
+            }
+        }
+        // Defensive completion: a slot can only still be empty if the fill
+        // passes above missed a valid request (a bug, not request data). It
+        // used to `expect` here — aborting the whole worker mid-tick — but a
+        // partially-filled tick is recoverable: answer the straggler through
+        // the single-request compute path and count the repair so the
+        // invariant violation stays visible in telemetry.
+        for i in 0..outputs.len() {
+            if outputs[i].is_none() {
+                if imcat_obs::enabled() {
+                    imcat_obs::counter_add("serve.tick.repairs", 1);
+                }
+                let (user, k) = requests[i];
+                let recs = self.compute(user, k);
+                self.cache.put((user, k), recs.clone());
+                outputs[i] = Some(Ok(recs));
             }
         }
         let dt = t0.elapsed().as_secs_f64();
@@ -435,7 +507,9 @@ impl Engine {
         OBS_CACHE_MISSES.add(requests.len() as u64 - hits);
         OBS_TICKS.add(1);
         OBS_TICK_SECONDS.observe(dt);
-        outputs.into_iter().map(|o| o.expect("every request answered")).collect()
+        // Every slot is Some after the repair pass; the fallback keeps this
+        // path abort-free by construction rather than by `expect`.
+        outputs.into_iter().map(|o| o.unwrap_or(Err(ServeError::ZeroK))).collect()
     }
 
     /// Lifetime serving statistics (latency quantiles are log-bucket upper

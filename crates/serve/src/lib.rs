@@ -10,6 +10,9 @@
 //!
 //! * **Parity** — answers are bit-identical to the offline evaluator's
 //!   masked top-K ranking at any `IMCAT_THREADS` setting.
+//! * **Panic-proof requests** — malformed requests (out-of-range user,
+//!   `k == 0`) are rejected with a typed [`ServeError`], never an assert:
+//!   request data can't take down a serving worker mid-batch.
 //! * **Caching** — a bounded LRU keeps hot users' lists with hit/miss
 //!   accounting.
 //! * **Batching** — a tick of concurrent requests costs one `matmul_nt`.
@@ -25,6 +28,6 @@ mod cache;
 mod engine;
 
 pub use cache::LruCache;
-pub use engine::{Engine, Recommendation, ServeConfig, ServeStats};
+pub use engine::{Engine, Recommendation, ServeConfig, ServeError, ServeStats};
 pub use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch};
 pub use imcat_ckpt::Artifact;

@@ -66,8 +66,8 @@ fn nprobe_equals_nlist_is_bit_identical_to_brute_force() {
     let mut ivf = Engine::new(artifact, ann_cfg(nlist, nlist)).unwrap();
     for u in 0..data.n_users() as u32 {
         for k in [1, 7, 20] {
-            let b = brute.recommend(u, k);
-            let a = ivf.recommend(u, k);
+            let b = brute.recommend(u, k).unwrap();
+            let a = ivf.recommend(u, k).unwrap();
             assert_eq!(a.len(), b.len(), "user {u} k {k}: list lengths differ");
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.item, y.item, "user {u} k {k}: item order differs");
@@ -99,7 +99,11 @@ fn tie_order_survives_full_probe() {
             .unwrap();
     let mut ivf = Engine::new(artifact, ann_cfg(8, 8)).unwrap();
     for u in 0..data.n_users() as u32 {
-        assert_eq!(ivf.recommend(u, 30), brute.recommend(u, 30), "user {u}: tie order diverged");
+        assert_eq!(
+            ivf.recommend(u, 30).unwrap(),
+            brute.recommend(u, 30).unwrap(),
+            "user {u}: tie order diverged"
+        );
     }
 }
 
@@ -125,8 +129,8 @@ fn partial_probe_scores_are_exact_and_recall_is_high() {
     let mut hits = 0usize;
     let mut total = 0usize;
     for u in 0..data.n_users() as u32 {
-        let exact = brute.recommend(u, k);
-        let approx = ivf.recommend(u, k);
+        let exact = brute.recommend(u, k).unwrap();
+        let approx = ivf.recommend(u, k).unwrap();
         let scores = model.score_users(&[u]);
         for w in approx.windows(2) {
             assert!(w[0].score >= w[1].score, "user {u}: ANN list not sorted");
@@ -171,7 +175,11 @@ fn batch_matches_single_under_ann() {
         (0..40u32).map(|i| (i % n, if i % 3 == 0 { 5 } else { 15 })).collect();
     let tick = batched.recommend_batch(&requests);
     for (out, &(u, k)) in tick.iter().zip(&requests) {
-        assert_eq!(out, &single.recommend(u, k), "batch answer for ({u}, {k}) diverged");
+        assert_eq!(
+            out.as_ref().unwrap(),
+            &single.recommend(u, k).unwrap(),
+            "batch ({u}, {k}) diverged"
+        );
     }
     assert_eq!(batched.stats().served, requests.len() as u64);
 }
@@ -184,13 +192,13 @@ fn set_ann_invalidates_cached_lists() {
     let model = trained_bprmf(&data);
     let artifact = model.export_artifact(&data).unwrap();
     let mut engine = Engine::new(artifact, ServeConfig::default()).unwrap();
-    let brute_list = engine.recommend(2, 10);
+    let brute_list = engine.recommend(2, 10).unwrap();
     assert!(engine.cached_lists() > 0, "list should be cached");
 
     // Swap in a deliberately lossy config (probe 1 list of many).
     engine.set_ann(Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false }));
     assert_eq!(engine.cached_lists(), 0, "set_ann must drop every cached list");
-    let ann_list = engine.recommend(2, 10);
+    let ann_list = engine.recommend(2, 10).unwrap();
     // Whatever it returns must be freshly computed under the new config: an
     // uncached engine with the same config agrees exactly.
     let mut fresh = Engine::new(
@@ -202,12 +210,16 @@ fn set_ann_invalidates_cached_lists() {
         },
     )
     .unwrap();
-    assert_eq!(ann_list, fresh.recommend(2, 10), "stale cached list served after config swap");
+    assert_eq!(
+        ann_list,
+        fresh.recommend(2, 10).unwrap(),
+        "stale cached list served after config swap"
+    );
 
     // Swapping back off restores brute-force answers.
     engine.set_ann(None);
     assert_eq!(engine.cached_lists(), 0);
-    assert_eq!(engine.recommend(2, 10), brute_list);
+    assert_eq!(engine.recommend(2, 10).unwrap(), brute_list);
 }
 
 /// Cold users (all-zero embedding) and fully-masked users take the brute
@@ -227,9 +239,9 @@ fn cold_and_fully_masked_users_fall_back() {
             .unwrap();
     let mut ivf = Engine::new(artifact, ann_cfg(8, 2)).unwrap();
     // Cold user: identical to brute force (the fallback *is* brute force).
-    assert_eq!(ivf.recommend(0, 10), brute.recommend(0, 10));
+    assert_eq!(ivf.recommend(0, 10).unwrap(), brute.recommend(0, 10).unwrap());
     // Fully-masked user: empty list, no panic.
-    assert_eq!(ivf.recommend(1, 10), vec![]);
+    assert_eq!(ivf.recommend(1, 10).unwrap(), vec![]);
 }
 
 /// `Engine::load` persists the lazily built index into the artifact file
@@ -253,14 +265,15 @@ fn lazy_persistence_and_corrupt_index_recovery() {
     let mut e1 = Engine::load(&path, cfg.clone()).unwrap();
     let after = Checkpoint::load(&path).unwrap();
     assert!(after.get(SEC_ANN_LISTS).is_some(), "index sections not persisted");
-    let expected: Vec<_> = (0..data.n_users() as u32).map(|u| e1.recommend(u, 10)).collect();
+    let expected: Vec<_> =
+        (0..data.n_users() as u32).map(|u| e1.recommend(u, 10).unwrap()).collect();
 
     // Second load reuses the persisted index byte-for-byte.
     let bytes_once = std::fs::read(&path).unwrap();
     let mut e2 = Engine::load(&path, cfg.clone()).unwrap();
     assert_eq!(std::fs::read(&path).unwrap(), bytes_once, "reload rewrote a fresh index");
     for (u, want) in expected.iter().enumerate() {
-        assert_eq!(&e2.recommend(u as u32, 10), want, "persisted index changed answers");
+        assert_eq!(&e2.recommend(u as u32, 10).unwrap(), want, "persisted index changed answers");
     }
 
     // Corrupt the index payload semantically (duplicate id): load must
@@ -277,7 +290,7 @@ fn lazy_persistence_and_corrupt_index_recovery() {
     ck.save(&path).unwrap();
     let mut e3 = Engine::load(&path, cfg).unwrap();
     for (u, want) in expected.iter().enumerate() {
-        assert_eq!(&e3.recommend(u as u32, 10), want, "corrupt index poisoned serving");
+        assert_eq!(&e3.recommend(u as u32, 10).unwrap(), want, "corrupt index poisoned serving");
     }
     std::fs::remove_file(&path).ok();
 }
@@ -303,7 +316,7 @@ fn quantized_rerank_returns_exact_scores() {
     .unwrap();
     let scores_of = |m: &Bprmf, u: u32| m.score_users(&[u]);
     for u in 0..data.n_users() as u32 {
-        let q = quant.recommend(u, 10);
+        let q = quant.recommend(u, 10).unwrap();
         let s = scores_of(&model, u);
         for r in &q {
             assert_eq!(
@@ -312,7 +325,7 @@ fn quantized_rerank_returns_exact_scores() {
                 "user {u}: quantized path returned a non-exact score"
             );
         }
-        assert_eq!(q, exact.recommend(u, 10), "user {u}: quantized top-K diverged");
+        assert_eq!(q, exact.recommend(u, 10).unwrap(), "user {u}: quantized top-K diverged");
     }
 }
 
@@ -329,7 +342,7 @@ fn ann_serving_bit_identical_across_thread_counts() {
             let mut engine = Engine::new(artifact.clone(), ann_cfg(10, 3)).unwrap();
             let mut fp: Vec<(u32, u32)> = Vec::new();
             for u in 0..data.n_users() as u32 {
-                for r in engine.recommend(u, 10) {
+                for r in engine.recommend(u, 10).unwrap() {
                     fp.push((r.item, r.score.to_bits()));
                 }
             }

@@ -9,7 +9,7 @@ use imcat_core::{Imcat, ImcatConfig};
 use imcat_data::{generate, SplitDataset, SynthConfig};
 use imcat_eval::top_n_masked;
 use imcat_models::{Bprmf, LightGcn, RecModel, TrainConfig};
-use imcat_serve::{Engine, ServeConfig};
+use imcat_serve::{Engine, ServeConfig, ServeError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +49,7 @@ fn serve_fingerprint(model: &dyn RecModel, data: &SplitDataset, k: usize) -> Vec
     let mut engine = Engine::new(artifact, ServeConfig::default()).unwrap();
     let mut fp = Vec::new();
     for u in 0..data.n_users() as u32 {
-        let recs = engine.recommend(u, k);
+        let recs = engine.recommend(u, k).unwrap();
         let scores = model.score_users(&[u]);
         let expected = top_n_masked(scores.row(0), data.train_items(u as usize), k);
         let got: Vec<u32> = recs.iter().map(|r| r.item).collect();
@@ -126,7 +126,11 @@ fn batch_path_matches_single_request_path() {
     let tick = batched.recommend_batch(&requests);
     assert_eq!(tick.len(), requests.len());
     for (out, &(u, k)) in tick.iter().zip(&requests) {
-        assert_eq!(out, &single.recommend(u, k), "batch answer for ({u}, {k}) diverged");
+        assert_eq!(
+            out.as_ref().unwrap(),
+            &single.recommend(u, k).unwrap(),
+            "batch ({u}, {k}) diverged"
+        );
     }
     // Repeats within the tick were deduplicated into cache hits or shared
     // scoring rows; the stats must still count every request.
@@ -139,8 +143,8 @@ fn cache_hits_return_identical_lists() {
     let model = trained_bprmf(&data);
     let mut engine =
         Engine::new(model.export_artifact(&data).unwrap(), ServeConfig::default()).unwrap();
-    let cold = engine.recommend(3, 20);
-    let warm = engine.recommend(3, 20);
+    let cold = engine.recommend(3, 20).unwrap();
+    let warm = engine.recommend(3, 20).unwrap();
     assert_eq!(cold, warm);
     let stats = engine.stats();
     assert_eq!(stats.cache_hits, 1);
@@ -162,7 +166,8 @@ fn reload_invalidates_cache_and_serves_new_artifact() {
 
     let mut engine = Engine::new(art_a, ServeConfig::default()).unwrap();
     // Warm the cache for every user under artifact A.
-    let lists_a: Vec<_> = (0..data.n_users() as u32).map(|u| engine.recommend(u, 20)).collect();
+    let lists_a: Vec<_> =
+        (0..data.n_users() as u32).map(|u| engine.recommend(u, 20).unwrap()).collect();
     assert!(engine.cached_lists() > 0);
 
     engine.reload(art_b).unwrap();
@@ -173,11 +178,45 @@ fn reload_invalidates_cache_and_serves_new_artifact() {
         Engine::new(model_b.export_artifact(&data).unwrap(), ServeConfig::default()).unwrap();
     let mut any_changed = false;
     for u in 0..data.n_users() as u32 {
-        let served = engine.recommend(u, 20);
-        assert_eq!(served, fresh_b.recommend(u, 20), "user {u} served a stale list");
+        let served = engine.recommend(u, 20).unwrap();
+        assert_eq!(served, fresh_b.recommend(u, 20).unwrap(), "user {u} served a stale list");
         any_changed |= served != lists_a[u as usize];
     }
     assert!(any_changed, "artifacts A and B should rank at least one user differently");
+}
+
+/// Malformed requests come back as typed errors — never panics — and a bad
+/// request mixed into a tick leaves every other answer untouched.
+#[test]
+fn malformed_requests_are_rejected_not_fatal() {
+    let data = tiny_split(28);
+    let model = trained_bprmf(&data);
+    let mut engine =
+        Engine::new(model.export_artifact(&data).unwrap(), ServeConfig::default()).unwrap();
+    let n = data.n_users() as u32;
+
+    assert_eq!(engine.recommend(n, 10), Err(ServeError::UserOutOfRange { user: n, n_users: n }));
+    assert_eq!(
+        engine.recommend(u32::MAX, 10).unwrap_err(),
+        ServeError::UserOutOfRange { user: u32::MAX, n_users: n }
+    );
+    assert_eq!(engine.recommend(0, 0), Err(ServeError::ZeroK));
+
+    // A poisoned tick: stale user ids and a zero cutoff interleaved with
+    // valid requests. The valid ones must be answered exactly as if the bad
+    // ones were never sent.
+    let tick = engine.recommend_batch(&[(0, 5), (n, 5), (1, 0), (2, 5), (n + 7, 3), (3, 5)]);
+    assert_eq!(tick.len(), 6);
+    assert_eq!(tick[1], Err(ServeError::UserOutOfRange { user: n, n_users: n }));
+    assert_eq!(tick[2], Err(ServeError::ZeroK));
+    assert_eq!(tick[4], Err(ServeError::UserOutOfRange { user: n + 7, n_users: n }));
+    let mut clean =
+        Engine::new(model.export_artifact(&data).unwrap(), ServeConfig::default()).unwrap();
+    for (slot, u) in [(0usize, 0u32), (3, 2), (5, 3)] {
+        assert_eq!(tick[slot].as_ref().unwrap(), &clean.recommend(u, 5).unwrap());
+    }
+    // Rejections never pollute the cache or the served count's latency data.
+    assert!(!engine.stats().p99_seconds.is_nan());
 }
 
 #[test]
@@ -186,10 +225,10 @@ fn invalid_reload_keeps_old_artifact_live() {
     let model = trained_bprmf(&data);
     let mut engine =
         Engine::new(model.export_artifact(&data).unwrap(), ServeConfig::default()).unwrap();
-    let before = engine.recommend(0, 10);
+    let before = engine.recommend(0, 10).unwrap();
 
     let mut bad = model.export_artifact(&data).unwrap();
     bad.user_emb.row_mut(0)[0] = f32::NAN;
     assert!(engine.reload(bad).is_err());
-    assert_eq!(engine.recommend(0, 10), before, "failed reload must not disturb serving");
+    assert_eq!(engine.recommend(0, 10).unwrap(), before, "failed reload must not disturb serving");
 }
