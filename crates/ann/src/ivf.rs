@@ -27,6 +27,24 @@
 //! then re-scores the shortlist from f32 — quantization can only affect
 //! which candidates survive the shortlist, never the final ordering of the
 //! returned list.
+//!
+//! ## Error-bounded int8 scoring
+//!
+//! Each quantized entry also persists a *unit error bound*: the maximum
+//! per-coordinate dequantization error `max_d |x_d − scale·code_d|` plus a
+//! float-summation slack (`8·d·ε·max|x|`) that dominates the rounding error
+//! of both the int8 and the f32 dot products. Multiplying by the query's L1
+//! norm bounds `|exact − approx|` for that entry. [`IvfIndex::probe`] uses
+//! this to *certify* the top-K straight from int8 scores: when the ranked
+//! approximate scores of the K winners are pairwise separated — and
+//! separated from every remaining candidate — by more than the summed
+//! bounds, the exact ranking provably equals the approximate one, and the
+//! probe skips the shortlist re-rank, exact-scoring only the K winners (so
+//! returned scores are still exact f32 bits). Any overlap — including every
+//! exact-score tie, whose margin is zero — falls back to the full shortlist
+//! re-rank, which is also available unconditionally as
+//! [`IvfIndex::probe_rerank`]. The two paths return bit-identical results;
+//! `ann_parity` and the quantization proptests assert it.
 
 use std::io;
 
@@ -44,11 +62,14 @@ pub const SEC_ANN_META: &str = "ann.meta";
 pub const SEC_ANN_CENTROIDS: &str = "ann.centroids";
 /// Section holding the inverted lists (offsets + item-id entries).
 pub const SEC_ANN_LISTS: &str = "ann.lists";
-/// Section holding the optional int8 codes and per-item scales.
+/// Section holding the optional int8 codes, per-item scales, and per-item
+/// quantization-error bounds.
 pub const SEC_ANN_CODES: &str = "ann.codes";
 
-/// Index format version inside [`SEC_ANN_META`].
-const ANN_VERSION: u32 = 1;
+/// Index format version inside [`SEC_ANN_META`]. Version 2 added persisted
+/// per-entry error bounds to [`SEC_ANN_CODES`]; older versions are rejected
+/// at decode (the engine then rebuilds and counts `ann.index.rebuilds`).
+const ANN_VERSION: u32 = 2;
 /// Lloyd iterations used when training the coarse quantizer.
 const BUILD_ITERS: usize = 10;
 /// Candidates per parallel exact-scoring chunk.
@@ -109,10 +130,16 @@ pub struct ProbeScratch {
     cand: Vec<u32>,
     /// Entry positions aligned with `cand` while shortlisting (quantized).
     approx: Vec<(f32, u32, u32)>,
+    /// Unmasked entries ranked by approximate score while attempting a
+    /// certified skip (quantized).
+    ranked: Vec<(f32, u32, u32)>,
     /// Exact scores aligned with `cand`.
     scores: Vec<f32>,
     /// The caller's mask remapped into compact candidate indices.
     mask: Vec<u32>,
+    /// Whether the last probe certified its top-K from int8 scores and
+    /// skipped the shortlist re-rank.
+    certified: bool,
 }
 
 impl ProbeScratch {
@@ -129,6 +156,14 @@ impl ProbeScratch {
     /// The query mask remapped to compact candidate indices (ascending).
     pub fn mask(&self) -> &[u32] {
         &self.mask
+    }
+
+    /// True when the last probe certified its top-K entirely from int8
+    /// scores and skipped the shortlist re-rank ([`IvfIndex::probe`] on a
+    /// quantized index only; always false after
+    /// [`IvfIndex::probe_rerank`]).
+    pub fn certified_skip(&self) -> bool {
+        self.certified
     }
 }
 
@@ -152,6 +187,10 @@ pub struct IvfIndex {
     codes: Vec<i8>,
     /// Per-entry dequantization scales, empty when not quantized.
     scales: Vec<f32>,
+    /// Per-entry unit error bounds (multiply by the query's L1 norm to bound
+    /// `|exact − approx|`), empty when not quantized. Computed once at build
+    /// time and persisted with the codes.
+    bounds: Vec<f32>,
 }
 
 impl IvfIndex {
@@ -194,9 +233,10 @@ impl IvfIndex {
             entries[cursor[a] as usize] = i as u32;
             cursor[a] += 1;
         }
-        let (codes, scales) = if cfg.quantized {
+        let (codes, scales, bounds) = if cfg.quantized {
             let mut codes = vec![0i8; n_items * dim];
             let mut scales = vec![0f32; n_items];
+            let mut bounds = vec![0f32; n_items];
             for (pos, &id) in entries.iter().enumerate() {
                 let row = items.row(id as usize);
                 let max_abs = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
@@ -207,10 +247,23 @@ impl IvfIndex {
                         *c = (x / scale).round().clamp(-127.0, 127.0) as i8;
                     }
                 }
+                // Unit error bound: the worst per-coordinate dequantization
+                // error, plus a summation slack that dominates the f32
+                // rounding error of both the int8 and the exact dot product
+                // (each is a length-`dim` accumulation of terms no larger
+                // than `max_abs·|q_d|`, so `8·dim·ε·max_abs` per unit of
+                // query L1 mass covers both with a wide margin). Multiplied
+                // by `‖q‖₁` at probe time this bounds `|exact − approx|`.
+                let eps = codes[pos * dim..(pos + 1) * dim]
+                    .iter()
+                    .zip(row)
+                    .map(|(&c, &x)| (x - scale * c as f32).abs())
+                    .fold(0f32, f32::max);
+                bounds[pos] = eps + 8.0 * dim as f32 * f32::EPSILON * max_abs;
             }
-            (codes, scales)
+            (codes, scales, bounds)
         } else {
-            (Vec::new(), Vec::new())
+            (Vec::new(), Vec::new(), Vec::new())
         };
         drop(sp);
         if imcat_obs::enabled() {
@@ -226,6 +279,7 @@ impl IvfIndex {
             entries,
             codes,
             scales,
+            bounds,
         }
     }
 
@@ -271,11 +325,19 @@ impl IvfIndex {
     /// leaving a compact ascending-id candidate set, exact scores, and the
     /// remapped `mask` in `scratch`.
     ///
-    /// Candidate scoring uses the identical per-item sequential accumulation
-    /// as brute force and fans out over the `imcat-par` pool bit-identically.
-    /// With `nprobe >= nlist` the compact arrays equal the full brute-force
-    /// score row and mask, so downstream `top_n_masked_with` selection is
-    /// bit-identical, tie order included.
+    /// Candidate scoring uses the identical `imcat_simd::dot` kernel as
+    /// brute force and fans out over the `imcat-par` pool bit-identically.
+    /// With `nprobe >= nlist` on a non-quantized index the compact arrays
+    /// equal the full brute-force score row and mask, so downstream
+    /// `top_n_masked_with` selection is bit-identical, tie order included.
+    ///
+    /// On a quantized index this entry point may take the certified skip
+    /// path (see the module docs): when the int8 error bounds prove the
+    /// exact top-`k` unmasked candidates and their order, only those `k`
+    /// are exact-scored and left in `scratch` — downstream selection of the
+    /// top `k` then returns bit-identical ids and scores to the full
+    /// re-rank, proven by `ann_parity` and the quantization proptests.
+    /// [`ProbeScratch::certified_skip`] reports which path ran.
     pub fn probe(
         &self,
         query: &[f32],
@@ -285,27 +347,54 @@ impl IvfIndex {
         nprobe: usize,
         scratch: &mut ProbeScratch,
     ) {
+        self.probe_impl(query, items, mask, k, nprobe, scratch, true);
+    }
+
+    /// [`IvfIndex::probe`] with the certified int8 skip disabled: quantized
+    /// indices always shortlist + exact re-rank, exactly the historical
+    /// behavior. The reference path the skip is verified against.
+    pub fn probe_rerank(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        self.probe_impl(query, items, mask, k, nprobe, scratch, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_impl(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut ProbeScratch,
+        allow_skip: bool,
+    ) {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
         assert_eq!(items.shape(), (self.n_items, self.dim), "item matrix mismatch");
         let sp = imcat_obs::span("ann.probe.seconds");
         let nprobe = nprobe.clamp(1, self.nlist());
+        scratch.certified = false;
         // Rank centroids by L2 distance to the augmented query `[q, 0]`
         // (ascending, ties to lower id) — in the augmented space, closer
         // means higher attainable inner product.
         scratch.order.clear();
         for c in 0..self.nlist() {
             let crow = self.centroids.row(c);
-            let mut acc = 0.0f32;
-            for (&a, &b) in query.iter().zip(crow) {
-                acc += (a - b) * (a - b);
-            }
             let tail = crow[self.dim];
-            acc += tail * tail;
+            let acc = imcat_simd::l2_sq(query, &crow[..self.dim]) + tail * tail;
             scratch.order.push((acc, c as u32));
         }
         scratch.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-        // Gather candidate entries from the probed lists.
+        // Gather candidate entries from the probed lists; quantized lists
+        // are scanned entirely in int8 through the fused kernel.
         scratch.cand.clear();
         scratch.approx.clear();
         for &(_, c) in scratch.order.iter().take(nprobe) {
@@ -314,19 +403,35 @@ impl IvfIndex {
             if self.quantized {
                 for pos in lo..hi {
                     let id = self.entries[pos];
-                    let mut acc = 0.0f32;
-                    for (&code, &q) in
-                        self.codes[pos * self.dim..(pos + 1) * self.dim].iter().zip(query)
-                    {
-                        acc += code as f32 * q;
-                    }
-                    scratch.approx.push((self.scales[pos] * acc, id, pos as u32));
+                    let approx = imcat_simd::dot_i8_scaled(
+                        &self.codes[pos * self.dim..(pos + 1) * self.dim],
+                        query,
+                        self.scales[pos],
+                    );
+                    scratch.approx.push((approx, id, pos as u32));
                 }
             } else {
                 scratch.cand.extend_from_slice(&self.entries[lo..hi]);
             }
         }
         if self.quantized {
+            if allow_skip && k > 0 && self.try_certified_skip(query, mask, k, scratch) {
+                scratch.cand.sort_unstable();
+                self.exact_scores(query, items, scratch);
+                // All certified candidates are unmasked by construction.
+                scratch.mask.clear();
+                scratch.certified = true;
+                drop(sp);
+                if imcat_obs::enabled() {
+                    imcat_obs::counter_add("ann.probes", 1);
+                    imcat_obs::counter_add("ann.rerank_skips", 1);
+                    imcat_obs::observe("ann.candidates", scratch.cand.len() as f64);
+                }
+                return;
+            }
+            if allow_skip && imcat_obs::enabled() {
+                imcat_obs::counter_add("ann.reranks", 1);
+            }
             // Shortlist by approximate score (descending, ties to lower id),
             // sized so the exact re-rank still has k unmasked survivors with
             // margin; the final ordering comes from exact f32 scores only.
@@ -348,21 +453,7 @@ impl IvfIndex {
         // duplicates). When every list is probed this is exactly 0..n_items.
         scratch.cand.sort_unstable();
 
-        // Exact f32 scores, same sequential per-item accumulation as brute
-        // force, sharded over the pool (each slot is one candidate).
-        scratch.scores.clear();
-        scratch.scores.resize(scratch.cand.len(), 0.0);
-        let cand = &scratch.cand;
-        imcat_par::global().parallel_chunks_mut(&mut scratch.scores, SCORE_GRAIN, |ci, slots| {
-            for (off, slot) in slots.iter_mut().enumerate() {
-                let id = cand[ci * SCORE_GRAIN + off] as usize;
-                let mut acc = 0.0f32;
-                for (&a, &b) in query.iter().zip(items.row(id)) {
-                    acc += a * b;
-                }
-                *slot = acc;
-            }
-        });
+        self.exact_scores(query, items, scratch);
 
         // Remap the (ascending) mask into compact candidate indices.
         scratch.mask.clear();
@@ -380,6 +471,78 @@ impl IvfIndex {
             imcat_obs::counter_add("ann.probes", 1);
             imcat_obs::observe("ann.candidates", scratch.cand.len() as f64);
         }
+    }
+
+    /// Attempts to certify the exact top-`k` unmasked candidates from the
+    /// int8 scores in `scratch.approx` alone. On success, `scratch.cand`
+    /// holds exactly those `k` ids (unsorted) and the method returns true.
+    ///
+    /// Soundness: `|exact_i − approx_i| ≤ err_i = bounds[pos_i]·‖q‖₁`. If
+    /// adjacent ranked winners satisfy `approxⱼ − errⱼ > approxⱼ₊₁ +
+    /// errⱼ₊₁`, their exact scores are strictly ordered the same way; if
+    /// the last winner clears every remaining candidate's `approx + err`
+    /// the same way, no outsider can reach the top `k`. All inequalities
+    /// are strict, so exact-score ties (margin 0) always fail and fall back
+    /// to the re-rank — certification never has to break a tie.
+    fn try_certified_skip(
+        &self,
+        query: &[f32],
+        mask: &[u32],
+        k: usize,
+        scratch: &mut ProbeScratch,
+    ) -> bool {
+        let l1q = imcat_simd::l1_norm(query);
+        if !l1q.is_finite() {
+            return false;
+        }
+        scratch.ranked.clear();
+        scratch
+            .ranked
+            .extend(scratch.approx.iter().filter(|&&(_, id, _)| mask.binary_search(&id).is_err()));
+        let top = k.min(scratch.ranked.len());
+        if top == 0 {
+            return false;
+        }
+        // Rank by approximate score (descending, ties to lower id): the
+        // candidate exact ordering the margins below certify.
+        if top < scratch.ranked.len() {
+            scratch
+                .ranked
+                .select_nth_unstable_by(top - 1, |a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        }
+        scratch.ranked[..top].sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let err = |e: &(f32, u32, u32)| self.bounds[e.2 as usize] * l1q;
+        // Comparisons are phrased as "strictly greater, else refuse" so NaN
+        // anywhere (incomparable) also falls back to the re-rank.
+        for w in scratch.ranked[..top].windows(2) {
+            let separated = w[0].0 - err(&w[0]) > w[1].0 + err(&w[1]);
+            if !separated {
+                return false;
+            }
+        }
+        let last = scratch.ranked[top - 1];
+        let floor = last.0 - err(&last);
+        if !scratch.ranked[top..].iter().all(|e| floor > e.0 + err(e)) {
+            return false;
+        }
+        scratch.cand.clear();
+        scratch.cand.extend(scratch.ranked[..top].iter().map(|&(_, id, _)| id));
+        true
+    }
+
+    /// Exact f32 scores for `scratch.cand`, the same `imcat_simd::dot`
+    /// kernel as brute force, sharded over the pool (each slot is one
+    /// candidate).
+    fn exact_scores(&self, query: &[f32], items: &Tensor, scratch: &mut ProbeScratch) {
+        scratch.scores.clear();
+        scratch.scores.resize(scratch.cand.len(), 0.0);
+        let cand = &scratch.cand;
+        imcat_par::global().parallel_chunks_mut(&mut scratch.scores, SCORE_GRAIN, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let id = cand[ci * SCORE_GRAIN + off] as usize;
+                *slot = imcat_simd::dot(query, items.row(id));
+            }
+        });
     }
 
     /// Structural validation mirroring `Artifact::validate`: consistent
@@ -442,7 +605,13 @@ impl IvfIndex {
             if self.scales.iter().any(|s| !s.is_finite() || *s < 0.0) {
                 return Err(bad("quantization scales must be finite and non-negative"));
             }
-        } else if !self.codes.is_empty() || !self.scales.is_empty() {
+            if self.bounds.len() != self.n_items {
+                return Err(bad("quantization error bounds length mismatch"));
+            }
+            if self.bounds.iter().any(|b| !b.is_finite() || *b < 0.0) {
+                return Err(bad("quantization error bounds must be finite and non-negative"));
+            }
+        } else if !self.codes.is_empty() || !self.scales.is_empty() || !self.bounds.is_empty() {
             return Err(bad("non-quantized index carries quantization arrays"));
         }
         Ok(())
@@ -473,6 +642,10 @@ impl IvfIndex {
             qe.put_u64(self.scales.len() as u64);
             for &s in &self.scales {
                 qe.put_f32(s);
+            }
+            qe.put_u64(self.bounds.len() as u64);
+            for &b in &self.bounds {
+                qe.put_f32(b);
             }
             ck.insert(SEC_ANN_CODES, qe.into_bytes());
         }
@@ -514,7 +687,7 @@ impl IvfIndex {
         let offsets = le.u32s()?;
         let entries = le.u32s()?;
         le.finish()?;
-        let (codes, scales) = if quantized {
+        let (codes, scales, bounds) = if quantized {
             let mut qe = Decoder::new(ck.require(SEC_ANN_CODES)?);
             let codes: Vec<i8> = qe.bytes()?.iter().map(|&b| b as i8).collect();
             let n = qe.u64()? as usize;
@@ -526,13 +699,31 @@ impl IvfIndex {
             for _ in 0..n {
                 scales.push(qe.f32()?);
             }
+            let nb = qe.u64()? as usize;
+            if nb > qe.remaining() / 4 {
+                return Err(bad("quantization bounds exceed remaining section bytes"));
+            }
+            let mut bounds = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                bounds.push(qe.f32()?);
+            }
             qe.finish()?;
-            (codes, scales)
+            (codes, scales, bounds)
         } else {
-            (Vec::new(), Vec::new())
+            (Vec::new(), Vec::new(), Vec::new())
         };
-        let idx =
-            Self { dim, n_items, seed, quantized, centroids, offsets, entries, codes, scales };
+        let idx = Self {
+            dim,
+            n_items,
+            seed,
+            quantized,
+            centroids,
+            offsets,
+            entries,
+            codes,
+            scales,
+            bounds,
+        };
         idx.validate()?;
         Ok(Some(idx))
     }

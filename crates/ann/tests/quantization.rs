@@ -1,0 +1,131 @@
+//! Property tests for the error-bounded int8 score path.
+//!
+//! The contract under test: [`IvfIndex::probe`] on a quantized index may
+//! certify its top-K from int8 scores and skip the exact re-rank, but the
+//! final ranked answer — selected through the evaluator's own
+//! `top_n_masked_with` — must be bit-identical to what the forced-re-rank
+//! path ([`IvfIndex::probe_rerank`]) returns: same ids, same exact f32
+//! score bits, same duplicate-score tie order. Arbitrary embeddings, masks,
+//! and cutoffs; adversarial near-tie and exact-duplicate-row cases
+//! included.
+
+use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch};
+use imcat_eval::{top_n_masked_with, TopKScratch};
+use imcat_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Ranks a probe result through the evaluator's selection path, resolving
+/// compact candidate indices back to `(item id, score bits)`.
+fn ranked(scratch: &ProbeScratch, k: usize, top: &mut TopKScratch) -> Vec<(u32, u32)> {
+    top_n_masked_with(scratch.scores(), scratch.mask(), k, top)
+        .iter()
+        .map(|&ci| (scratch.candidates()[ci as usize], scratch.scores()[ci as usize].to_bits()))
+        .collect()
+}
+
+/// Builds a quantized index over `items` and asserts that probe-with-skip
+/// and probe-with-re-rank agree bit-for-bit on the final top-`k` for
+/// `query` under `mask`, at every `nprobe`. Returns whether any probe
+/// certified a skip, so callers can assert coverage.
+fn assert_skip_parity(items: &Tensor, query: &[f32], mask: &[u32], k: usize, seed: u64) -> bool {
+    let cfg = AnnConfig { nlist: 1 + (seed % 5) as usize, nprobe: 0, quantized: true };
+    let idx = IvfIndex::build(items, &cfg, seed);
+    let mut fast = ProbeScratch::default();
+    let mut slow = ProbeScratch::default();
+    let mut top = TopKScratch::default();
+    let mut any_skip = false;
+    for nprobe in 1..=idx.nlist() {
+        idx.probe(query, items, mask, k, nprobe, &mut fast);
+        idx.probe_rerank(query, items, mask, k, nprobe, &mut slow);
+        assert!(!slow.certified_skip(), "probe_rerank must never certify");
+        any_skip |= fast.certified_skip();
+        let got = ranked(&fast, k, &mut top);
+        let want = ranked(&slow, k, &mut top);
+        assert_eq!(
+            got,
+            want,
+            "top-{k} diverged (nprobe {nprobe}, certified {})",
+            fast.certified_skip()
+        );
+    }
+    any_skip
+}
+
+fn mixed_items(gen: &mut Gen, n: usize, d: usize) -> Tensor {
+    Tensor::from_vec(
+        n,
+        d,
+        (0..n * d)
+            .map(|_| {
+                let mag = 10f64.powi(gen.below(4) as i32 - 2);
+                ((gen.unit_f64() * 2.0 - 1.0) * mag) as f32
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Arbitrary embeddings, masks, and cutoffs: certified skip decisions
+    /// never change the exact top-K.
+    #[test]
+    fn certified_skip_never_changes_topk(seed in 0u64..1_000_000) {
+        let mut gen = Gen::new(seed);
+        let n = 4 + gen.below(60) as usize;
+        let d = 1 + gen.below(9) as usize;
+        let items = mixed_items(&mut gen, n, d);
+        let query: Vec<f32> =
+            (0..d).map(|_| (gen.unit_f64() * 2.0 - 1.0) as f32).collect();
+        let mut mask: Vec<u32> = (0..n as u32).filter(|_| gen.below(5) == 0).collect();
+        mask.sort_unstable();
+        let k = 1 + gen.below(12) as usize;
+        assert_skip_parity(&items, &query, &mask, k, seed);
+    }
+
+    /// Duplicate rows share exact scores, so any top-K that straddles the
+    /// duplicates has a genuine tie — certification must refuse to decide
+    /// it, and the fallback must preserve the canonical (id-ascending) tie
+    /// order. Also plants near-ties one quantization step apart.
+    #[test]
+    fn duplicate_rows_keep_tie_order(seed in 0u64..1_000_000) {
+        let mut gen = Gen::new(seed);
+        let n = 8 + gen.below(24) as usize;
+        let d = 1 + gen.below(6) as usize;
+        let mut items = mixed_items(&mut gen, n, d);
+        // Duplicate a handful of rows verbatim.
+        for _ in 0..3 {
+            let src = gen.below(n as u64) as usize;
+            let dst = gen.below(n as u64) as usize;
+            let row: Vec<f32> = items.row(src).to_vec();
+            items.row_mut(dst).copy_from_slice(&row);
+        }
+        let query: Vec<f32> =
+            (0..d).map(|_| (gen.unit_f64() * 2.0 - 1.0) as f32).collect();
+        let k = 2 + gen.below(8) as usize;
+        assert_skip_parity(&items, &query, &[], k, seed);
+    }
+
+    /// Well-separated same-direction items (descending magnitudes) must
+    /// certify at least one skip across the nprobe sweep when probed with
+    /// the aligned query — the bound is tight enough to be useful, not just
+    /// safe.
+    #[test]
+    fn separated_items_do_certify(seed in 0u64..1_000_000) {
+        let mut gen = Gen::new(seed);
+        let n = 12 + gen.below(20) as usize;
+        let d = 2 + gen.below(6) as usize;
+        let dir: Vec<f32> =
+            (0..d).map(|_| (gen.unit_f64() + 0.1) as f32).collect();
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            // Geometric separation: successive scores differ by 2x, far
+            // beyond any int8 quantization error.
+            let m = 2f32.powi(-(i as i32));
+            data.extend(dir.iter().map(|&x| x * m));
+        }
+        let items = Tensor::from_vec(n, d, data);
+        let any_skip = assert_skip_parity(&items, &dir, &[], 3, seed);
+        prop_assert!(any_skip, "no probe certified on well-separated items");
+    }
+}

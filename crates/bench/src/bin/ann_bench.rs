@@ -17,7 +17,10 @@
 //! speedup over brute force; rows are also emitted as `ann_frontier`
 //! telemetry events (consumed by the `ann-smoke` CI job) and the measured
 //! default-probe recall lands in the `ann.recall_at10` /
-//! `ann.recall_at50` gauges.
+//! `ann.recall_at50` gauges. The quantized row additionally reports the
+//! certified-skip rate of the error-bounded int8 path and cross-checks the
+//! skip-enabled probe against the forced re-rank per user (the
+//! `skip_mismatches` count, gated to zero by the `kernel-smoke` CI job).
 //!
 //! Environment knobs:
 //!
@@ -79,6 +82,8 @@ struct Row {
     speedup: f64,
     mean_us: f64,
     is_default: bool,
+    skip_rate: f64,
+    skip_mismatches: usize,
 }
 
 imcat_obs::impl_to_json!(Row {
@@ -91,7 +96,9 @@ imcat_obs::impl_to_json!(Row {
     qps,
     speedup,
     mean_us,
-    is_default
+    is_default,
+    skip_rate,
+    skip_mismatches
 });
 
 /// Replays the stream uncached and returns (qps, mean latency in µs).
@@ -130,7 +137,9 @@ fn recall_at(engine: &mut Engine, truth: &[Vec<u32>], k: usize) -> f64 {
 }
 
 /// Mean fraction of the catalog scanned per probe (direct index probes,
-/// mask-free — the candidate pool before any re-rank).
+/// mask-free — the candidate pool before any re-rank). Uses the forced
+/// re-rank path so "scanned" keeps its historical meaning: a certified skip
+/// would report only the k winners, not the scanned pool.
 fn scan_fraction(engine: &Engine, nprobe: usize) -> f64 {
     let idx = engine.ann_index().expect("ann engine");
     let art = engine.artifact();
@@ -138,10 +147,43 @@ fn scan_fraction(engine: &Engine, nprobe: usize) -> f64 {
     let mut scratch = ProbeScratch::default();
     let mut total = 0usize;
     for u in 0..art.user_emb.rows() {
-        idx.probe(art.user_emb.row(u), items, &[], 10, nprobe, &mut scratch);
+        idx.probe_rerank(art.user_emb.row(u), items, &[], 10, nprobe, &mut scratch);
         total += scratch.candidates().len();
     }
     total as f64 / (art.user_emb.rows() * items.rows()) as f64
+}
+
+/// Certified int8 skip rate and (should-be-zero) top-K mismatches of the
+/// skip-enabled probe against the forced re-rank, per user with their real
+/// training masks — the acceptance evidence behind the "bit-identical
+/// returned top-K" claim, consumed by the `kernel-smoke` CI job.
+fn skip_stats(engine: &Engine, nprobe: usize, k: usize) -> (f64, usize) {
+    let idx = engine.ann_index().expect("ann engine");
+    let art = engine.artifact();
+    let items = &art.item_emb;
+    let mut fast = ProbeScratch::default();
+    let mut slow = ProbeScratch::default();
+    let mut top = imcat_eval::TopKScratch::default();
+    let mut skips = 0usize;
+    let mut mismatches = 0usize;
+    let n_users = art.user_emb.rows();
+    let ranked = |s: &ProbeScratch, top: &mut imcat_eval::TopKScratch| -> Vec<(u32, u32)> {
+        imcat_eval::top_n_masked_with(s.scores(), s.mask(), k, top)
+            .iter()
+            .map(|&ci| (s.candidates()[ci as usize], s.scores()[ci as usize].to_bits()))
+            .collect()
+    };
+    for u in 0..n_users {
+        let q = art.user_emb.row(u);
+        let mask = &art.masks[u];
+        idx.probe(q, items, mask, k, nprobe, &mut fast);
+        idx.probe_rerank(q, items, mask, k, nprobe, &mut slow);
+        skips += fast.certified_skip() as usize;
+        if ranked(&fast, &mut top) != ranked(&slow, &mut top) {
+            mismatches += 1;
+        }
+    }
+    (skips as f64 / n_users.max(1) as f64, mismatches)
 }
 
 fn main() {
@@ -231,6 +273,8 @@ fn main() {
         speedup: 1.0,
         mean_us: brute_mean,
         is_default: false,
+        skip_rate: 0.0,
+        skip_mismatches: 0,
     }];
     logln!(
         log,
@@ -266,6 +310,8 @@ fn main() {
         };
         let mut engine = Engine::load(&artifact_path, cfg).expect("artifact must load");
         let frac = scan_fraction(&engine, nprobe);
+        let (skip_rate, skip_mismatches) =
+            if quantized { skip_stats(&engine, nprobe, k) } else { (0.0, 0) };
         let r10 = recall_at(&mut engine, &truth, 10);
         let r50 = recall_at(&mut engine, &truth, 50);
         // Fresh engine for timing so recall probing doesn't pollute stats.
@@ -290,6 +336,8 @@ fn main() {
             speedup: qps / brute_qps.max(1e-9),
             mean_us,
             is_default,
+            skip_rate,
+            skip_mismatches,
         };
         logln!(
             log,
@@ -304,6 +352,14 @@ fn main() {
             row.speedup,
             if is_default { "  <- default" } else { "" }
         );
+        if quantized {
+            logln!(
+                log,
+                "ivf-q8 certified skip rate {:.3} ({} top-{k} mismatches vs forced re-rank)",
+                row.skip_rate,
+                row.skip_mismatches
+            );
+        }
         if imcat_obs::enabled() {
             use imcat_obs::Json;
             imcat_obs::emit(
@@ -318,12 +374,17 @@ fn main() {
                     ("qps", Json::Num(row.qps)),
                     ("speedup", Json::Num(row.speedup)),
                     ("is_default", Json::Bool(row.is_default)),
+                    ("skip_rate", Json::Num(row.skip_rate)),
+                    ("skip_mismatches", Json::Num(row.skip_mismatches as f64)),
                 ],
             );
             if is_default {
                 imcat_obs::gauge_set("ann.recall_at10", row.recall_at10);
                 imcat_obs::gauge_set("ann.recall_at50", row.recall_at50);
                 imcat_obs::gauge_set("ann.default_speedup", row.speedup);
+            }
+            if quantized {
+                imcat_obs::gauge_set("ann.q8_skip_rate", row.skip_rate);
             }
         }
         rows.push(row);

@@ -385,11 +385,7 @@ pub fn split_user_item(nodes: &Tensor, n_users: usize, n_items: usize) -> (Tenso
 /// Dense `[B, n_items]` scores as `users_emb[users] @ items_emb^T` — the
 /// shared evaluation path of every dot-product model.
 pub fn dot_score_all(user_emb: &Tensor, item_emb: &Tensor, users: &[u32]) -> Tensor {
-    let mut sel = Tensor::zeros(users.len(), user_emb.cols());
-    for (i, &u) in users.iter().enumerate() {
-        sel.row_mut(i).copy_from_slice(user_emb.row(u as usize));
-    }
-    sel.matmul_nt(item_emb)
+    user_emb.matmul_nt_rows(users, item_emb)
 }
 
 /// Uniformly samples `n` negatives not present in `graph` row `anchor`.

@@ -46,7 +46,6 @@ use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
 use imcat_ckpt::{Artifact, Checkpoint};
 use imcat_eval::{top_n_masked_with, TopKScratch};
 use imcat_obs::Histogram;
-use imcat_tensor::Tensor;
 
 use crate::cache::{CacheKey, LruCache};
 
@@ -217,6 +216,9 @@ impl Engine {
         let state = match loaded {
             Some(index) => AnnState { cfg: ann_cfg, index, scratch: ProbeScratch::default() },
             None => {
+                if imcat_obs::enabled() {
+                    imcat_obs::counter_add("ann.index.rebuilds", 1);
+                }
                 let state = AnnState::build(&artifact, ann_cfg);
                 state.index.add_to_checkpoint(&mut ck);
                 if ck.save(&path).is_err() && imcat_obs::enabled() {
@@ -280,9 +282,9 @@ impl Engine {
     }
 
     /// Scores every item for `user`, sharding the item axis over the thread
-    /// pool. Element `j` is the same ascending-index accumulation
-    /// `matmul_nt` computes, so the row is bit-identical to the evaluator's
-    /// score row at any thread count.
+    /// pool. Element `j` is the same `imcat_simd::dot` kernel `matmul_nt`
+    /// runs, so the row is bit-identical to the evaluator's score row at any
+    /// thread count.
     fn score_user(&self, user: u32) -> Vec<f32> {
         let u_row = self.artifact.user_emb.row(user as usize);
         let items = &self.artifact.item_emb;
@@ -290,12 +292,7 @@ impl Engine {
         let shard = self.cfg.shard_items.max(1);
         imcat_par::global().parallel_chunks_mut(&mut scores, shard, |ci, slots| {
             for (off, slot) in slots.iter_mut().enumerate() {
-                let i_row = items.row(ci * shard + off);
-                let mut acc = 0.0f32;
-                for (&a, &b) in u_row.iter().zip(i_row) {
-                    acc += a * b;
-                }
-                *slot = acc;
+                *slot = imcat_simd::dot(u_row, items.row(ci * shard + off));
             }
         });
         scores
@@ -466,11 +463,7 @@ impl Engine {
             users.dedup();
             let row_of: HashMap<u32, usize> =
                 users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
-            let mut sel = Tensor::zeros(users.len(), self.artifact.dim());
-            for (i, &u) in users.iter().enumerate() {
-                sel.row_mut(i).copy_from_slice(self.artifact.user_emb.row(u as usize));
-            }
-            let scores = sel.matmul_nt(&self.artifact.item_emb);
+            let scores = self.artifact.user_emb.matmul_nt_rows(&users, &self.artifact.item_emb);
             let mut fresh: Vec<Vec<Recommendation>> = Vec::with_capacity(miss_keys.len());
             for &(user, k) in &miss_keys {
                 let row = scores.row(row_of[&user]);

@@ -329,6 +329,82 @@ fn quantized_rerank_returns_exact_scores() {
     }
 }
 
+/// The certified int8 skip path: on a catalog engineered so approximate
+/// scores are separated far beyond the quantization error bounds, the probe
+/// must actually take the skip (proving the bound is usable, not just
+/// safe), and both the direct probe result and the full engine answer must
+/// stay bit-identical to the forced re-rank / brute-force paths.
+#[test]
+fn certified_skip_is_taken_and_bit_identical_to_rerank() {
+    let data = tiny_split(41);
+    let model = trained_bprmf(&data);
+    let mut artifact = model.export_artifact(&data).unwrap();
+    // Same-direction items with geometrically decaying magnitudes: every
+    // user's score gaps dwarf any int8 quantization error, so top-K
+    // certification succeeds deterministically.
+    let d = artifact.item_emb.cols();
+    let dir: Vec<f32> = (0..d).map(|j| 0.3 + 0.1 * (j % 5) as f32).collect();
+    for i in 0..artifact.n_items() {
+        let m = 1.3f32.powi(-(i as i32));
+        for (slot, &x) in artifact.item_emb.row_mut(i).iter_mut().zip(&dir) {
+            *slot = x * m;
+        }
+    }
+    for u in 0..artifact.n_users() {
+        let m = 0.5 + (u % 7) as f32 * 0.25;
+        for (slot, &x) in artifact.user_emb.row_mut(u).iter_mut().zip(&dir) {
+            *slot = x * m;
+        }
+    }
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut quant = Engine::new(
+        artifact.clone(),
+        ServeConfig {
+            cache_capacity: 0,
+            ann: Some(AnnConfig { nlist: 6, nprobe: 6, quantized: true }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Engine answers: quantized (with skips enabled) == brute, bitwise.
+    for u in 0..data.n_users() as u32 {
+        let q = quant.recommend(u, 5).unwrap();
+        let b = brute.recommend(u, 5).unwrap();
+        assert_eq!(q.len(), b.len(), "user {u}: lengths differ");
+        for (x, y) in q.iter().zip(&b) {
+            assert_eq!(x.item, y.item, "user {u}: item order differs");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "user {u}: score bits differ");
+        }
+    }
+    // Direct probe: skips actually fire, and skip == forced re-rank through
+    // the evaluator's selection.
+    let idx = quant.ann_index().unwrap();
+    let mut fast = imcat_serve::ProbeScratch::default();
+    let mut slow = imcat_serve::ProbeScratch::default();
+    let mut top = imcat_eval::TopKScratch::default();
+    let mut skips = 0usize;
+    for u in 0..data.n_users() {
+        let u_row = artifact.user_emb.row(u);
+        let mask = &artifact.masks[u];
+        idx.probe(u_row, &artifact.item_emb, mask, 5, 6, &mut fast);
+        idx.probe_rerank(u_row, &artifact.item_emb, mask, 5, 6, &mut slow);
+        assert!(!slow.certified_skip());
+        skips += fast.certified_skip() as usize;
+        let rank = |s: &imcat_serve::ProbeScratch, top: &mut imcat_eval::TopKScratch| {
+            imcat_eval::top_n_masked_with(s.scores(), s.mask(), 5, top)
+                .iter()
+                .map(|&ci| (s.candidates()[ci as usize], s.scores()[ci as usize].to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let got = rank(&fast, &mut top);
+        let want = rank(&slow, &mut top);
+        assert_eq!(got, want, "user {u}: skip path diverged from re-rank");
+    }
+    assert!(skips > 0, "no probe certified a skip on an engineered-easy catalog");
+}
+
 /// ANN serving is thread-count invariant: the whole pipeline (k-means,
 /// list build, probe, exact re-rank) is bit-identical at 1 and 4 threads.
 #[test]

@@ -1,0 +1,486 @@
+//! Runtime-dispatched SIMD kernels for the IMCAT hot paths.
+//!
+//! Every matmul, batch scorer, and ANN probe in the workspace bottoms out in
+//! the same handful of inner loops: f32 `dot`, `axpy`, a fused int8
+//! [`dot_i8_scaled`], squared L2 distance, and an L1 norm. This crate owns
+//! those loops and picks one of two backends once per process:
+//!
+//! - [`Backend::Scalar`] — the plain sequential loops the workspace has
+//!   always used, preserved bit-for-bit. `acc += a*b` in order, no fusing,
+//!   no reassociation. This is the oracle every other path is tested
+//!   against, and what `IMCAT_SIMD=scalar` forces for bit-identity
+//!   debugging.
+//! - [`Backend::Avx2`] — eight-lane kernels. On x86_64 hosts with AVX2+FMA
+//!   these run as `std::arch` intrinsics; everywhere else they run as the
+//!   [`portable`] mirror: an 8-lane-unrolled `f32::mul_add` loop with the
+//!   exact lane assignment and horizontal-reduction tree of the intrinsics,
+//!   so the two implementations of the Avx2 backend are bit-identical to
+//!   each other (`fmaf` is correctly rounded, i.e. the same one-rounding
+//!   result as the hardware `vfmadd` instruction).
+//!
+//! The backend is resolved once (first use) from `IMCAT_SIMD=scalar|avx2`,
+//! defaulting to Avx2 when the CPU supports it. Avx2 results differ from
+//! Scalar only by floating-point summation order; callers that promise
+//! bit-identity across *processes* (checkpoint resume, thread-count
+//! invariance, sharded serving) are safe because the backend is a pure
+//! function of environment + hardware, identical in every process on the
+//! same host — and `IMCAT_SIMD=scalar` recovers the historical bits exactly.
+//!
+//! Each kernel has a `_with(backend, ...)` variant so tests and
+//! `kernel_bench` can exercise both paths inside one process.
+
+use std::sync::OnceLock;
+
+/// Kernel implementation family, chosen once per process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Historical sequential loops, bit-identical to the pre-SIMD kernels.
+    Scalar,
+    /// Eight-lane FMA kernels (AVX2 intrinsics, or their portable mirror).
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lower-case name (`"scalar"` / `"avx2"`), as accepted by the
+    /// `IMCAT_SIMD` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the running CPU supports the AVX2+FMA intrinsic path.
+///
+/// When this is false the [`Backend::Avx2`] backend still works — it runs
+/// the bit-identical [`portable`] mirror instead of intrinsics.
+pub fn avx2_detected() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// The process-wide backend: `IMCAT_SIMD` if set (panics on other values),
+/// otherwise Avx2 when the CPU has AVX2+FMA and Scalar elsewhere.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| match std::env::var("IMCAT_SIMD") {
+        Ok(v) if v == "scalar" => Backend::Scalar,
+        Ok(v) if v == "avx2" => Backend::Avx2,
+        Ok(v) => panic!("IMCAT_SIMD must be `scalar` or `avx2`, got `{v}`"),
+        Err(_) => {
+            if avx2_detected() {
+                Backend::Avx2
+            } else {
+                Backend::Scalar
+            }
+        }
+    })
+}
+
+/// `sum_i a[i] * b[i]` under the process backend.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(backend(), a, b)
+}
+
+/// [`dot`] under an explicit backend.
+#[inline]
+pub fn dot_with(bk: Backend, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    match bk {
+        Backend::Scalar => scalar::dot(a, b),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2+FMA presence was just checked.
+                return unsafe { avx2::dot(a, b) };
+            }
+            portable::dot(a, b)
+        }
+    }
+}
+
+/// `y[i] += s * x[i]` under the process backend.
+#[inline]
+pub fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with(backend(), s, x, y)
+}
+
+/// [`axpy`] under an explicit backend.
+#[inline]
+pub fn axpy_with(bk: Backend, s: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match bk {
+        Backend::Scalar => scalar::axpy(s, x, y),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2+FMA presence was just checked.
+                unsafe { avx2::axpy(s, x, y) };
+                return;
+            }
+            portable::axpy(s, x, y)
+        }
+    }
+}
+
+/// Fused int8 dot: `scale * sum_i codes[i] as f32 * q[i]` under the process
+/// backend. This is the quantized ANN scan kernel: codes are per-item int8
+/// quantized embeddings, `scale` the item's dequantization factor.
+#[inline]
+pub fn dot_i8_scaled(codes: &[i8], q: &[f32], scale: f32) -> f32 {
+    dot_i8_scaled_with(backend(), codes, q, scale)
+}
+
+/// [`dot_i8_scaled`] under an explicit backend.
+#[inline]
+pub fn dot_i8_scaled_with(bk: Backend, codes: &[i8], q: &[f32], scale: f32) -> f32 {
+    assert_eq!(codes.len(), q.len(), "dot_i8_scaled: length mismatch");
+    match bk {
+        Backend::Scalar => scalar::dot_i8_scaled(codes, q, scale),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2+FMA presence was just checked.
+                return unsafe { avx2::dot_i8_scaled(codes, q, scale) };
+            }
+            portable::dot_i8_scaled(codes, q, scale)
+        }
+    }
+}
+
+/// `sum_i (a[i] - b[i])^2` under the process backend.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    l2_sq_with(backend(), a, b)
+}
+
+/// [`l2_sq`] under an explicit backend.
+#[inline]
+pub fn l2_sq_with(bk: Backend, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_sq: length mismatch");
+    match bk {
+        Backend::Scalar => scalar::l2_sq(a, b),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2+FMA presence was just checked.
+                return unsafe { avx2::l2_sq(a, b) };
+            }
+            portable::l2_sq(a, b)
+        }
+    }
+}
+
+/// `sum_i |x[i]|` under the process backend (the query-side factor of the
+/// quantized-score error bound).
+#[inline]
+pub fn l1_norm(x: &[f32]) -> f32 {
+    l1_norm_with(backend(), x)
+}
+
+/// [`l1_norm`] under an explicit backend.
+#[inline]
+pub fn l1_norm_with(bk: Backend, x: &[f32]) -> f32 {
+    match bk {
+        Backend::Scalar => scalar::l1_norm(x),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_detected() {
+                // SAFETY: AVX2+FMA presence was just checked.
+                return unsafe { avx2::l1_norm(x) };
+            }
+            portable::l1_norm(x)
+        }
+    }
+}
+
+/// The historical sequential kernels, preserved bit-for-bit. These are the
+/// oracle for every other path and the `IMCAT_SIMD=scalar` escape hatch.
+pub mod scalar {
+    /// Sequential `acc += a*b` dot, in index order, no fusing.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for i in 0..a.len() {
+            acc += a[i] * b[i];
+        }
+        acc
+    }
+
+    /// Sequential `y[i] += s * x[i]`, no fusing.
+    pub fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+        for i in 0..x.len() {
+            y[i] += s * x[i];
+        }
+    }
+
+    /// Sequential quantized scan: widen each code, `acc += c * q`, scale at
+    /// the end — exactly the loop `imcat-ann` shipped with.
+    pub fn dot_i8_scaled(codes: &[i8], q: &[f32], scale: f32) -> f32 {
+        let mut acc = 0.0f32;
+        for i in 0..codes.len() {
+            acc += codes[i] as f32 * q[i];
+        }
+        scale * acc
+    }
+
+    /// Sequential squared L2 distance.
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Sequential `acc += |x|`.
+    pub fn l1_norm(x: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for &v in x {
+            acc += v.abs();
+        }
+        acc
+    }
+}
+
+/// Portable mirror of the AVX2 kernels: 8-lane-unrolled `f32::mul_add`
+/// bodies with the same lane assignment (lane `l` accumulates elements `l`,
+/// `l+8`, …) and the same horizontal-sum tree as the intrinsic reduction
+/// (`((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`), followed by the same scalar
+/// `mul_add` tail. Because `f32::mul_add` is correctly rounded — the same
+/// single-rounding result the hardware `vfmadd` produces — this module is
+/// bit-identical to [`avx2`](self) on every input, which the test suite
+/// asserts on AVX2 hosts.
+pub mod portable {
+    /// Reduction tree matching the SSE `extractf128 / movehl / shuffle`
+    /// horizontal sum used by the intrinsic kernels.
+    #[inline]
+    pub fn hsum8(l: [f32; 8]) -> f32 {
+        ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+    }
+
+    /// Eight-lane fused dot.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let mut lanes = [0.0f32; 8];
+        for c in 0..chunks {
+            let base = c * 8;
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                *lane = a[base + l].mul_add(b[base + l], *lane);
+            }
+        }
+        let mut total = hsum8(lanes);
+        for i in chunks * 8..n {
+            total = a[i].mul_add(b[i], total);
+        }
+        total
+    }
+
+    /// Elementwise fused `y[i] = fma(s, x[i], y[i])`.
+    pub fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+        for i in 0..x.len() {
+            y[i] = s.mul_add(x[i], y[i]);
+        }
+    }
+
+    /// Eight-lane fused quantized scan.
+    pub fn dot_i8_scaled(codes: &[i8], q: &[f32], scale: f32) -> f32 {
+        let n = codes.len();
+        let chunks = n / 8;
+        let mut lanes = [0.0f32; 8];
+        for c in 0..chunks {
+            let base = c * 8;
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                *lane = (codes[base + l] as f32).mul_add(q[base + l], *lane);
+            }
+        }
+        let mut total = hsum8(lanes);
+        for i in chunks * 8..n {
+            total = (codes[i] as f32).mul_add(q[i], total);
+        }
+        scale * total
+    }
+
+    /// Eight-lane fused squared L2 distance.
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let mut lanes = [0.0f32; 8];
+        for c in 0..chunks {
+            let base = c * 8;
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let d = a[base + l] - b[base + l];
+                *lane = d.mul_add(d, *lane);
+            }
+        }
+        let mut total = hsum8(lanes);
+        for i in chunks * 8..n {
+            let d = a[i] - b[i];
+            total = d.mul_add(d, total);
+        }
+        total
+    }
+
+    /// Eight-lane `|x|` accumulation (plain adds: the intrinsic path uses
+    /// `andnot` + `add`, not FMA, so the mirror adds too).
+    pub fn l1_norm(x: &[f32]) -> f32 {
+        let n = x.len();
+        let chunks = n / 8;
+        let mut lanes = [0.0f32; 8];
+        for c in 0..chunks {
+            let base = c * 8;
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                *lane += x[base + l].abs();
+            }
+        }
+        let mut total = hsum8(lanes);
+        for &v in &x[chunks * 8..n] {
+            total += v.abs();
+        }
+        total
+    }
+}
+
+/// AVX2/FMA intrinsic kernels. Callers must guarantee the CPU supports
+/// `avx2` and `fma` (the public `_with` wrappers check [`avx2_detected`]).
+/// Bit-identical to [`portable`] by construction; asserted by tests.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum matching [`super::portable::hsum8`].
+    ///
+    /// # Safety
+    /// Requires AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        // [l0+l4, l1+l5, l2+l6, l3+l7]
+        let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+        // lane0 = (l0+l4)+(l2+l6), lane1 = (l1+l5)+(l3+l7)
+        let s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01)))
+    }
+
+    /// Fused 8-lane dot.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slices must be equal length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let av = _mm256_loadu_ps(ap.add(c * 8));
+            let bv = _mm256_loadu_ps(bp.add(c * 8));
+            acc = _mm256_fmadd_ps(av, bv, acc);
+        }
+        let mut total = hsum256(acc);
+        for i in chunks * 8..n {
+            total = a[i].mul_add(b[i], total);
+        }
+        total
+    }
+
+    /// Fused 8-lane `y += s * x`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slices must be equal length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let chunks = n / 8;
+        let sv = _mm256_set1_ps(s);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for c in 0..chunks {
+            let xv = _mm256_loadu_ps(xp.add(c * 8));
+            let yv = _mm256_loadu_ps(yp.add(c * 8));
+            _mm256_storeu_ps(yp.add(c * 8), _mm256_fmadd_ps(sv, xv, yv));
+        }
+        for i in chunks * 8..n {
+            y[i] = s.mul_add(x[i], y[i]);
+        }
+    }
+
+    /// Fused 8-lane int8 scan: widen 8 codes to f32, FMA against the query.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slices must be equal length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_i8_scaled(codes: &[i8], q: &[f32], scale: f32) -> f32 {
+        let n = codes.len();
+        let chunks = n / 8;
+        let cp = codes.as_ptr();
+        let qp = q.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let raw = _mm_loadl_epi64(cp.add(c * 8) as *const __m128i);
+            let cv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+            let qv = _mm256_loadu_ps(qp.add(c * 8));
+            acc = _mm256_fmadd_ps(cv, qv, acc);
+        }
+        let mut total = hsum256(acc);
+        for i in chunks * 8..n {
+            total = (codes[i] as f32).mul_add(q[i], total);
+        }
+        scale * total
+    }
+
+    /// Fused 8-lane squared L2 distance.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA support; slices must be equal length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(c * 8)), _mm256_loadu_ps(bp.add(c * 8)));
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut total = hsum256(acc);
+        for i in chunks * 8..n {
+            let d = a[i] - b[i];
+            total = d.mul_add(d, total);
+        }
+        total
+    }
+
+    /// 8-lane `|x|` accumulation (sign-mask `andnot`, plain adds).
+    ///
+    /// # Safety
+    /// Requires AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l1_norm(x: &[f32]) -> f32 {
+        let n = x.len();
+        let chunks = n / 8;
+        let xp = x.as_ptr();
+        let sign = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign, _mm256_loadu_ps(xp.add(c * 8))));
+        }
+        let mut total = hsum256(acc);
+        for &v in &x[chunks * 8..n] {
+            total += v.abs();
+        }
+        total
+    }
+}

@@ -1,0 +1,248 @@
+//! Kernel oracle tests.
+//!
+//! Three contracts, in decreasing strictness:
+//! 1. `scalar::*` is bit-identical to the naive historical loops (restated
+//!    literally here), at every awkward length.
+//! 2. On AVX2 hosts, the intrinsic kernels are bit-identical to their
+//!    [`imcat_simd::portable`] mirrors — the mirror IS the spec of the
+//!    intrinsics.
+//! 3. The Avx2 backend agrees with the Scalar oracle within a forward-error
+//!    tolerance, at awkward lengths and under proptest-random inputs.
+
+use imcat_simd::{portable, scalar, Backend};
+use proptest::prelude::*;
+
+/// Lengths that stress every dispatch edge: empty, sub-lane, exactly one
+/// lane, lane+1, the serving dims, and a large non-multiple-of-8.
+const AWKWARD: &[usize] = &[0, 1, 7, 8, 9, 64, 128, 4095];
+
+/// Deterministic mixed-magnitude test vector.
+fn vector(seed: u64, n: usize) -> Vec<f32> {
+    let mut gen = Gen::new(seed);
+    (0..n)
+        .map(|_| {
+            let mag = 10f64.powi(gen.below(5) as i32 - 2);
+            ((gen.unit_f64() * 2.0 - 1.0) * mag) as f32
+        })
+        .collect()
+}
+
+fn codes(seed: u64, n: usize) -> Vec<i8> {
+    let mut gen = Gen::new(seed);
+    (0..n).map(|_| (gen.below(255) as i64 - 127) as i8).collect()
+}
+
+/// Forward-error tolerance for comparing two summation orders of the same
+/// inner product: a few ulps per accumulated term.
+fn dot_tol(terms: impl Iterator<Item = f32>, n: usize) -> f32 {
+    let l1: f32 = terms.map(|t| t.abs()).sum();
+    8.0 * (n as f32 + 8.0) * f32::EPSILON * l1 + 1e-30
+}
+
+// ---------------------------------------------------------------------------
+// Contract 1: scalar == historical naive loops, bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scalar_matches_naive_loops_bitwise() {
+    for &n in AWKWARD {
+        let a = vector(0x5eed ^ n as u64, n);
+        let b = vector(0xbeef ^ n as u64, n);
+        let c = codes(0xc0de ^ n as u64, n);
+
+        let mut naive_dot = 0.0f32;
+        for i in 0..n {
+            naive_dot += a[i] * b[i];
+        }
+        assert_eq!(scalar::dot(&a, &b).to_bits(), naive_dot.to_bits(), "dot n={n}");
+
+        let mut y = b.clone();
+        let mut naive_y = b.clone();
+        scalar::axpy(0.37, &a, &mut y);
+        for i in 0..n {
+            naive_y[i] += 0.37 * a[i];
+        }
+        for i in 0..n {
+            assert_eq!(y[i].to_bits(), naive_y[i].to_bits(), "axpy n={n} i={i}");
+        }
+
+        let mut naive_q = 0.0f32;
+        for i in 0..n {
+            naive_q += c[i] as f32 * a[i];
+        }
+        let scale = 0.011_f32;
+        assert_eq!(
+            scalar::dot_i8_scaled(&c, &a, scale).to_bits(),
+            (scale * naive_q).to_bits(),
+            "dot_i8_scaled n={n}"
+        );
+
+        let mut naive_l2 = 0.0f32;
+        for i in 0..n {
+            let d = a[i] - b[i];
+            naive_l2 += d * d;
+        }
+        assert_eq!(scalar::l2_sq(&a, &b).to_bits(), naive_l2.to_bits(), "l2_sq n={n}");
+
+        let mut naive_l1 = 0.0f32;
+        for &v in &a {
+            naive_l1 += v.abs();
+        }
+        assert_eq!(scalar::l1_norm(&a).to_bits(), naive_l1.to_bits(), "l1_norm n={n}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 2: AVX2 intrinsics == portable mirror, bitwise (AVX2 hosts).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_intrinsics_match_portable_mirror_bitwise() {
+    if !imcat_simd::avx2_detected() {
+        eprintln!("skipping: host has no AVX2+FMA");
+        return;
+    }
+    for &n in AWKWARD {
+        for seed in 0..4u64 {
+            let a = vector(seed * 7919 + 1 + n as u64, n);
+            let b = vector(seed * 104_729 + 2 + n as u64, n);
+            let c = codes(seed * 31 + 3 + n as u64, n);
+            // SAFETY: avx2_detected() checked above.
+            unsafe {
+                assert_eq!(
+                    imcat_simd::avx2::dot(&a, &b).to_bits(),
+                    portable::dot(&a, &b).to_bits(),
+                    "dot n={n} seed={seed}"
+                );
+                let mut y_i = b.clone();
+                let mut y_p = b.clone();
+                imcat_simd::avx2::axpy(-1.73, &a, &mut y_i);
+                portable::axpy(-1.73, &a, &mut y_p);
+                for i in 0..n {
+                    assert_eq!(y_i[i].to_bits(), y_p[i].to_bits(), "axpy n={n} i={i}");
+                }
+                assert_eq!(
+                    imcat_simd::avx2::dot_i8_scaled(&c, &a, 0.007).to_bits(),
+                    portable::dot_i8_scaled(&c, &a, 0.007).to_bits(),
+                    "dot_i8_scaled n={n} seed={seed}"
+                );
+                assert_eq!(
+                    imcat_simd::avx2::l2_sq(&a, &b).to_bits(),
+                    portable::l2_sq(&a, &b).to_bits(),
+                    "l2_sq n={n} seed={seed}"
+                );
+                assert_eq!(
+                    imcat_simd::avx2::l1_norm(&a).to_bits(),
+                    portable::l1_norm(&a).to_bits(),
+                    "l1_norm n={n} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 3: Avx2 backend vs Scalar oracle, tolerance, every dispatch path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn avx2_backend_matches_scalar_oracle_at_awkward_lengths() {
+    for &n in AWKWARD {
+        let a = vector(0x11 + n as u64, n);
+        let b = vector(0x22 + n as u64, n);
+        let c = codes(0x33 + n as u64, n);
+
+        let tol = dot_tol(a.iter().zip(&b).map(|(x, y)| x * y), n);
+        let exact = imcat_simd::dot_with(Backend::Scalar, &a, &b);
+        let fast = imcat_simd::dot_with(Backend::Avx2, &a, &b);
+        assert!((exact - fast).abs() <= tol, "dot n={n}: {exact} vs {fast} tol={tol}");
+
+        let mut y_s = b.clone();
+        let mut y_v = b.clone();
+        imcat_simd::axpy_with(Backend::Scalar, 2.5, &a, &mut y_s);
+        imcat_simd::axpy_with(Backend::Avx2, 2.5, &a, &mut y_v);
+        for i in 0..n {
+            let t = 8.0 * f32::EPSILON * (y_s[i].abs() + (2.5 * a[i]).abs()) + 1e-30;
+            assert!((y_s[i] - y_v[i]).abs() <= t, "axpy n={n} i={i}");
+        }
+
+        let qt = dot_tol(c.iter().zip(&a).map(|(x, y)| *x as f32 * y), n);
+        let q_s = imcat_simd::dot_i8_scaled_with(Backend::Scalar, &c, &a, 0.01);
+        let q_v = imcat_simd::dot_i8_scaled_with(Backend::Avx2, &c, &a, 0.01);
+        assert!((q_s - q_v).abs() <= 0.01 * qt + 1e-30, "dot_i8 n={n}: {q_s} vs {q_v}");
+
+        let lt = dot_tol(a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)), n);
+        let l_s = imcat_simd::l2_sq_with(Backend::Scalar, &a, &b);
+        let l_v = imcat_simd::l2_sq_with(Backend::Avx2, &a, &b);
+        assert!((l_s - l_v).abs() <= lt, "l2_sq n={n}: {l_s} vs {l_v}");
+
+        let nt = dot_tol(a.iter().copied(), n);
+        let n_s = imcat_simd::l1_norm_with(Backend::Scalar, &a);
+        let n_v = imcat_simd::l1_norm_with(Backend::Avx2, &a);
+        assert!((n_s - n_v).abs() <= nt, "l1_norm n={n}: {n_s} vs {n_v}");
+    }
+}
+
+#[test]
+fn empty_inputs_are_exact_zero_on_both_backends() {
+    for bk in [Backend::Scalar, Backend::Avx2] {
+        assert_eq!(imcat_simd::dot_with(bk, &[], &[]), 0.0);
+        assert_eq!(imcat_simd::dot_i8_scaled_with(bk, &[], &[], 3.0), 0.0);
+        assert_eq!(imcat_simd::l2_sq_with(bk, &[], &[]), 0.0);
+        assert_eq!(imcat_simd::l1_norm_with(bk, &[]), 0.0);
+        imcat_simd::axpy_with(bk, 1.0, &[], &mut []);
+    }
+}
+
+#[test]
+fn process_backend_matches_its_explicit_variant() {
+    let a = vector(1, 129);
+    let b = vector(2, 129);
+    let bk = imcat_simd::backend();
+    assert_eq!(imcat_simd::dot(&a, &b).to_bits(), imcat_simd::dot_with(bk, &a, &b).to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random lengths and values: the Avx2 backend (intrinsics or portable,
+    /// whichever this host dispatches to) stays within the forward-error
+    /// tolerance of the scalar oracle.
+    #[test]
+    fn prop_dot_backends_agree(seed in 0u64..u64::MAX, n in 0usize..700) {
+        let a = vector(seed, n);
+        let b = vector(seed ^ 0xffff_ffff, n);
+        let tol = dot_tol(a.iter().zip(&b).map(|(x, y)| x * y), n);
+        let exact = imcat_simd::dot_with(Backend::Scalar, &a, &b);
+        let fast = imcat_simd::dot_with(Backend::Avx2, &a, &b);
+        prop_assert!((exact - fast).abs() <= tol, "{exact} vs {fast}, tol {tol}");
+    }
+
+    /// Same contract for the fused int8 kernel.
+    #[test]
+    fn prop_dot_i8_backends_agree(seed in 0u64..u64::MAX, n in 0usize..700) {
+        let c = codes(seed, n);
+        let q = vector(seed ^ 0xaaaa, n);
+        let scale = 0.003 + (seed % 97) as f32 * 1e-4;
+        let tol = scale * dot_tol(c.iter().zip(&q).map(|(x, y)| *x as f32 * y), n);
+        let exact = imcat_simd::dot_i8_scaled_with(Backend::Scalar, &c, &q, scale);
+        let fast = imcat_simd::dot_i8_scaled_with(Backend::Avx2, &c, &q, scale);
+        prop_assert!((exact - fast).abs() <= tol + 1e-30, "{exact} vs {fast}, tol {tol}");
+    }
+
+    /// axpy agrees elementwise (one fused vs two roundings per element).
+    #[test]
+    fn prop_axpy_backends_agree(seed in 0u64..u64::MAX, n in 0usize..700) {
+        let x = vector(seed, n);
+        let mut y_s = vector(seed ^ 1, n);
+        let mut y_v = y_s.clone();
+        let s = ((seed % 1000) as f32 - 500.0) * 0.01;
+        imcat_simd::axpy_with(Backend::Scalar, s, &x, &mut y_s);
+        imcat_simd::axpy_with(Backend::Avx2, s, &x, &mut y_v);
+        for i in 0..n {
+            let t = 8.0 * f32::EPSILON * (y_s[i].abs() + (s * x[i]).abs()) + 1e-30;
+            prop_assert!((y_s[i] - y_v[i]).abs() <= t, "i={i}: {} vs {}", y_s[i], y_v[i]);
+        }
+    }
+}

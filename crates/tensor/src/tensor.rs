@@ -208,9 +208,7 @@ impl Tensor {
     /// In-place `self += s * other`. Shapes must match.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        imcat_simd::axpy(s, &other.data, &mut self.data);
     }
 
     /// Sets every element to zero, keeping the allocation.
@@ -259,10 +257,7 @@ impl Tensor {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = &b_data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                imcat_simd::axpy(a, &b_data[p * n..(p + 1) * n], o_row);
             }
         };
         run_row_blocked(m, n, m * k * n, &mut out.data, &body);
@@ -290,12 +285,42 @@ impl Tensor {
         let body = |i: usize, o_row: &mut [f32]| {
             let a_row = &a_data[i * k..(i + 1) * k];
             for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &b_data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
+                *o = imcat_simd::dot(a_row, &b_data[j * k..(j + 1) * k]);
+            }
+        };
+        run_row_blocked(m, n, m * k * n, &mut out.data, &body);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) over a selection of `self`'s rows:
+    /// `self[rows] @ other^T` (`[r,k] x [n,k]^T -> [r,n]`). Bit-identical to
+    /// copying the rows into a fresh tensor and calling `matmul_nt`, without
+    /// the copy — this is the serving batch-scorer shape, where `rows` is a
+    /// tick's worth of user ids against the full item table.
+    pub fn matmul_nt_rows(&self, rows: &[u32], other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt_rows inner dimension mismatch: {:?} x {:?}^T",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (rows.len(), self.cols, other.rows);
+        for &r in rows {
+            assert!((r as usize) < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        }
+        let _sp = crate::obs_matmul(m, k, n);
+        let mut out = Tensor::zeros(m, n);
+        if n == 0 || k == 0 {
+            return out;
+        }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let body = |i: usize, o_row: &mut [f32]| {
+            let r = rows[i] as usize;
+            let a_row = &a_data[r * k..(r + 1) * k];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                *o = imcat_simd::dot(a_row, &b_data[j * k..(j + 1) * k]);
             }
         };
         run_row_blocked(m, n, m * k * n, &mut out.data, &body);
@@ -331,10 +356,7 @@ impl Tensor {
                     if a == 0.0 {
                         continue;
                     }
-                    let b_row = &b_data[p * n..(p + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    imcat_simd::axpy(a, &b_data[p * n..(p + 1) * n], o_row);
                 }
             };
             run_row_blocked(m, n, m * k * n, &mut out.data, &body);
@@ -348,10 +370,7 @@ impl Tensor {
                     if a == 0.0 {
                         continue;
                     }
-                    let o_row = &mut out.data[i * n..(i + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    imcat_simd::axpy(a, b_row, &mut out.data[i * n..(i + 1) * n]);
                 }
             }
         }
@@ -439,6 +458,23 @@ mod tests {
         let via_tn = a.matmul_tn(&b);
         let via_t = a.transposed().matmul(&b);
         assert!(via_tn.approx_eq(&via_t, 1e-6));
+    }
+
+    #[test]
+    fn matmul_nt_rows_matches_copy_then_matmul_nt_bitwise() {
+        let a = Tensor::from_vec(5, 3, (0..15).map(|x| (x as f32) * 0.37 - 2.0).collect());
+        let b = Tensor::from_vec(4, 3, (0..12).map(|x| (x as f32) * 0.11 + 0.5).collect());
+        let rows: Vec<u32> = vec![3, 0, 3, 1];
+        let direct = a.matmul_nt_rows(&rows, &b);
+        let mut copied = Tensor::zeros(rows.len(), a.cols());
+        for (i, &r) in rows.iter().enumerate() {
+            copied.row_mut(i).copy_from_slice(a.row(r as usize));
+        }
+        let via_copy = copied.matmul_nt(&b);
+        assert_eq!(direct.shape(), via_copy.shape());
+        for (x, y) in direct.as_slice().iter().zip(via_copy.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]
