@@ -1,0 +1,285 @@
+//! The mutable-index trait behind which every ANN backend serves.
+//!
+//! `imcat-serve` used to talk to [`IvfIndex`] concretely, with a hand-rolled
+//! brute-force branch next to it. This module extracts the surface both
+//! share — probe, streamed insert, section persistence, staleness check —
+//! into [`AnnIndex`], selected by [`AnnConfig::kind`]: the engine holds a
+//! `Box<dyn AnnIndex>` and neither knows nor cares whether it is IVF-Flat,
+//! the trivial [`BruteIndex`] fallback, or (per the ROADMAP) a future HNSW.
+//! Construction and decode stay on [`AnnConfig`] ([`AnnConfig::build_index`]
+//! / [`AnnConfig::load_index`]) because they pick the concrete type.
+//!
+//! Every implementation keeps the workspace contracts: exact f32 scores in
+//! the probe output (approximation may only cost recall), bit-determinism at
+//! any `IMCAT_THREADS`, and dense append-only ids for [`AnnIndex::insert`].
+
+use std::io;
+
+use imcat_ckpt::{Checkpoint, Decoder, Encoder};
+use imcat_tensor::Tensor;
+
+use crate::ivf::{AnnConfig, IvfIndex, ProbeScratch};
+
+/// Section holding the [`BruteIndex`] identity (so a brute "index" round-
+/// trips through the same container machinery as a real one).
+pub const SEC_ANN_BRUTE: &str = "ann.brute";
+
+/// Format version inside [`SEC_ANN_BRUTE`].
+const BRUTE_VERSION: u32 = 1;
+
+/// Which concrete index an [`AnnConfig`] builds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AnnKind {
+    /// IVF-Flat with exact re-rank ([`IvfIndex`]) — the default.
+    #[default]
+    Ivf,
+    /// Exhaustive scan ([`BruteIndex`]): every item is a candidate, every
+    /// score exact. The reference the approximate backends are verified
+    /// against, and the fallback for catalogs too small to partition.
+    Brute,
+}
+
+/// One frozen-geometry retrieval index over a dense item catalog.
+///
+/// A probe leaves a compact ascending-id candidate set with **exact** f32
+/// scores and a remapped mask in the scratch, exactly like
+/// [`IvfIndex::probe`] always has; `insert` appends the next dense id
+/// without retraining; `save_sections` serializes into named `ann.*`
+/// sections; `matches` is the staleness check deciding whether a persisted
+/// index can be reused for a config/catalog/seed triple.
+pub trait AnnIndex: Send {
+    /// Which backend this is.
+    fn kind(&self) -> AnnKind;
+
+    /// Catalog size currently covered by the index.
+    fn n_items(&self) -> usize;
+
+    /// Embedding dimension the index was built over.
+    fn dim(&self) -> usize;
+
+    /// Probes for the top-`k` candidates of `query`, leaving ascending
+    /// candidate ids, exact scores, and the remapped `mask` in `scratch`.
+    fn probe(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut ProbeScratch,
+    );
+
+    /// Appends item `id` (which must equal the current catalog size — ids
+    /// stay dense) with `embedding`, without retraining.
+    fn insert(&mut self, id: u32, embedding: &[f32]) -> io::Result<()>;
+
+    /// Serializes the index into named `ann.*` sections of `ck`.
+    fn save_sections(&self, ck: &mut Checkpoint);
+
+    /// True when this index is exactly what a fresh build would produce for
+    /// `(cfg, n_items, dim, seed)` — the reuse check on load.
+    fn matches(&self, cfg: &AnnConfig, n_items: usize, dim: usize, seed: u64) -> bool;
+
+    /// Downcast to the concrete IVF index, for callers that need IVF-only
+    /// surface (forced re-rank probes, build-seed inspection). `None` for
+    /// every other backend.
+    fn as_ivf(&self) -> Option<&IvfIndex> {
+        None
+    }
+}
+
+impl AnnIndex for IvfIndex {
+    fn kind(&self) -> AnnKind {
+        AnnKind::Ivf
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn probe(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        IvfIndex::probe(self, query, items, mask, k, nprobe, scratch);
+    }
+
+    fn insert(&mut self, id: u32, embedding: &[f32]) -> io::Result<()> {
+        IvfIndex::insert(self, id, embedding)
+    }
+
+    fn save_sections(&self, ck: &mut Checkpoint) {
+        self.add_to_checkpoint(ck);
+    }
+
+    fn matches(&self, cfg: &AnnConfig, n_items: usize, dim: usize, seed: u64) -> bool {
+        cfg.kind == AnnKind::Ivf && IvfIndex::matches(self, cfg, n_items, dim, seed)
+    }
+
+    fn as_ivf(&self) -> Option<&IvfIndex> {
+        Some(self)
+    }
+}
+
+/// The exhaustive-scan "index": no structure at all, every probe scans the
+/// whole catalog with exact scores. Trivial by design — it exists so the
+/// brute-force fallback is an [`AnnIndex`] implementation instead of a
+/// special case inside the engine, and so tests can diff any approximate
+/// backend against it through the same trait calls.
+#[derive(Clone, Copy, Debug)]
+pub struct BruteIndex {
+    dim: usize,
+    n_items: usize,
+    seed: u64,
+}
+
+impl BruteIndex {
+    /// "Builds" the index: records the catalog shape.
+    pub fn build(items: &Tensor, seed: u64) -> Self {
+        let (n_items, dim) = items.shape();
+        assert!(n_items > 0, "cannot index an empty catalog");
+        Self { dim, n_items, seed }
+    }
+
+    /// Decodes the [`SEC_ANN_BRUTE`] identity section (generation-resolved).
+    /// `Ok(None)` when the container carries none.
+    pub fn from_checkpoint(ck: &Checkpoint) -> io::Result<Option<Self>> {
+        let Some(bytes) = ck.resolve(SEC_ANN_BRUTE) else {
+            return Ok(None);
+        };
+        let mut d = Decoder::new(bytes);
+        let version = d.u32()?;
+        if version != BRUTE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported brute index version {version}"),
+            ));
+        }
+        let seed = d.u64()?;
+        let dim = d.u64()? as usize;
+        let n_items = d.u64()? as usize;
+        d.finish()?;
+        if dim == 0 || n_items == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty brute index"));
+        }
+        Ok(Some(Self { dim, n_items, seed }))
+    }
+}
+
+impl AnnIndex for BruteIndex {
+    fn kind(&self) -> AnnKind {
+        AnnKind::Brute
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn probe(
+        &self,
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+        _k: usize,
+        _nprobe: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        // Brute force is exhaustive over the *live* catalog: items
+        // registered after the build are scanned too (the matrix may run
+        // ahead of `n_items` during streaming, never behind).
+        assert!(
+            items.rows() >= self.n_items && items.cols() == self.dim,
+            "item matrix {:?} smaller than index ({}, {})",
+            items.shape(),
+            self.n_items,
+            self.dim
+        );
+        scratch.set_brute(query, items, mask);
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ann.probes", 1);
+            imcat_obs::observe("ann.candidates", items.rows() as f64);
+        }
+    }
+
+    fn insert(&mut self, id: u32, embedding: &[f32]) -> io::Result<()> {
+        if embedding.len() != self.dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("insert embedding dim {} != index dim {}", embedding.len(), self.dim),
+            ));
+        }
+        if id as usize != self.n_items {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ids are dense: insert expected id {} got {id}", self.n_items),
+            ));
+        }
+        if embedding.iter().any(|x| !x.is_finite()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "insert embedding contains nonfinite values",
+            ));
+        }
+        self.n_items += 1;
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ann.inserts", 1);
+        }
+        Ok(())
+    }
+
+    fn save_sections(&self, ck: &mut Checkpoint) {
+        let mut e = Encoder::new();
+        e.put_u32(BRUTE_VERSION);
+        e.put_u64(self.seed);
+        e.put_u64(self.dim as u64);
+        e.put_u64(self.n_items as u64);
+        ck.insert(SEC_ANN_BRUTE, e.into_bytes());
+    }
+
+    fn matches(&self, cfg: &AnnConfig, n_items: usize, dim: usize, seed: u64) -> bool {
+        cfg.kind == AnnKind::Brute
+            && self.n_items == n_items
+            && self.dim == dim
+            && self.seed == seed
+    }
+}
+
+impl AnnConfig {
+    /// Builds the concrete index this configuration selects. Deterministic:
+    /// the same `(items, cfg, seed)` produces a bit-identical index at any
+    /// `IMCAT_THREADS` setting.
+    pub fn build_index(&self, items: &Tensor, seed: u64) -> Box<dyn AnnIndex> {
+        match self.kind {
+            AnnKind::Ivf => Box::new(IvfIndex::build(items, self, seed)),
+            AnnKind::Brute => Box::new(BruteIndex::build(items, seed)),
+        }
+    }
+
+    /// Decodes whichever index sections the container holds for this
+    /// configuration's kind (generation-resolved). `Ok(None)` when the
+    /// container carries no index of that kind.
+    pub fn load_index(&self, ck: &Checkpoint) -> io::Result<Option<Box<dyn AnnIndex>>> {
+        match self.kind {
+            AnnKind::Ivf => {
+                Ok(IvfIndex::from_checkpoint(ck)?.map(|i| Box::new(i) as Box<dyn AnnIndex>))
+            }
+            AnnKind::Brute => {
+                Ok(BruteIndex::from_checkpoint(ck)?.map(|i| Box::new(i) as Box<dyn AnnIndex>))
+            }
+        }
+    }
+}

@@ -67,9 +67,12 @@ pub const SEC_ANN_LISTS: &str = "ann.lists";
 pub const SEC_ANN_CODES: &str = "ann.codes";
 
 /// Index format version inside [`SEC_ANN_META`]. Version 2 added persisted
-/// per-entry error bounds to [`SEC_ANN_CODES`]; older versions are rejected
-/// at decode (the engine then rebuilds and counts `ann.index.rebuilds`).
-const ANN_VERSION: u32 = 2;
+/// per-entry error bounds to [`SEC_ANN_CODES`]; version 3 added the frozen
+/// MIPS-augmentation constant `Φ²` so streamed items can be inserted into
+/// the lists with the same geometry the index was built under. Older
+/// versions are rejected at decode (the engine then rebuilds and counts
+/// `ann.index.rebuilds`).
+const ANN_VERSION: u32 = 3;
 /// Lloyd iterations used when training the coarse quantizer.
 const BUILD_ITERS: usize = 10;
 /// Candidates per parallel exact-scoring chunk.
@@ -88,6 +91,9 @@ pub const DEFAULT_BUILD_SEED: u64 = 0x1517_ACE5;
 /// EXPERIMENTS.md). Raise `nprobe` for recall, lower it for speed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AnnConfig {
+    /// Which concrete backend to build (IVF-Flat by default; see
+    /// [`crate::index::AnnKind`]).
+    pub kind: crate::index::AnnKind,
     /// Number of inverted lists (0 = auto).
     pub nlist: usize,
     /// Lists probed per query (0 = auto). Query-time only: sweeping `nprobe`
@@ -165,6 +171,27 @@ impl ProbeScratch {
     pub fn certified_skip(&self) -> bool {
         self.certified
     }
+
+    /// Fills the scratch with the exhaustive candidate set `0..n_items`,
+    /// exact scores (the same `imcat_simd::dot` kernel and pool fan-out the
+    /// IVF re-rank uses, so bit-identical to it at `nprobe == nlist`), and
+    /// the mask verbatim (candidate index == item id). The whole probe of
+    /// [`crate::index::BruteIndex`].
+    pub(crate) fn set_brute(&mut self, query: &[f32], items: &Tensor, mask: &[u32]) {
+        self.certified = false;
+        let n = items.rows();
+        self.cand.clear();
+        self.cand.extend(0..n as u32);
+        self.scores.clear();
+        self.scores.resize(n, 0.0);
+        imcat_par::global().parallel_chunks_mut(&mut self.scores, SCORE_GRAIN, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                *slot = imcat_simd::dot(query, items.row(ci * SCORE_GRAIN + off));
+            }
+        });
+        self.mask.clear();
+        self.mask.extend_from_slice(mask);
+    }
 }
 
 /// An IVF-Flat index over one frozen item-embedding matrix.
@@ -174,6 +201,11 @@ pub struct IvfIndex {
     n_items: usize,
     seed: u64,
     quantized: bool,
+    /// The squared MIPS-augmentation constant `Φ² = max_i ‖x_i‖²` frozen at
+    /// build time. Streamed inserts augment against this value (clamping the
+    /// completion coordinate at 0 for items that out-norm the build set) so
+    /// their list assignment lives in the same geometry as the build.
+    phi2: f64,
     /// `[nlist, dim + 1]` coarse-quantizer centroids in the MIPS-augmented
     /// space (last column is the norm-completion coordinate).
     centroids: Tensor,
@@ -274,6 +306,7 @@ impl IvfIndex {
             n_items,
             seed,
             quantized: cfg.quantized,
+            phi2: max2,
             centroids,
             offsets,
             entries,
@@ -281,6 +314,84 @@ impl IvfIndex {
             scales,
             bounds,
         }
+    }
+
+    /// Appends one item to the index without retraining the coarse
+    /// quantizer: the embedding is MIPS-augmented against the frozen build
+    /// `Φ²`, assigned to its nearest centroid, and appended to that list
+    /// (its id is the current maximum, so ascending list order is
+    /// preserved). On a quantized index the int8 code, scale, and certified
+    /// error bound are recomputed with the identical per-row formulas the
+    /// build uses, so certified-skip stays exact for streamed items.
+    ///
+    /// Ids stay dense: `id` must equal the current catalog size. Items whose
+    /// norm exceeds the build `Φ` get a clamped completion coordinate of 0 —
+    /// list assignment degrades gracefully and probe scoring stays exact
+    /// (candidates are always re-scored from f32); a background rebuild
+    /// restores the invariant.
+    pub fn insert(&mut self, id: u32, embedding: &[f32]) -> io::Result<()> {
+        if embedding.len() != self.dim {
+            return Err(bad(format!(
+                "insert embedding dim {} != index dim {}",
+                embedding.len(),
+                self.dim
+            )));
+        }
+        if id as usize != self.n_items {
+            return Err(bad(format!(
+                "ids are dense: insert expected id {} got {id}",
+                self.n_items
+            )));
+        }
+        if embedding.iter().any(|x| !x.is_finite()) {
+            return Err(bad("insert embedding contains nonfinite values"));
+        }
+        let n2: f64 = embedding.iter().map(|&x| x as f64 * x as f64).sum();
+        let tail = (self.phi2 - n2).max(0.0).sqrt() as f32;
+        // Nearest centroid over the augmented coordinates, same accumulation
+        // shape as `kmeans::assign_nearest` (ties to the lower list id).
+        let mut best = 0usize;
+        let mut best_d2 = f32::INFINITY;
+        for c in 0..self.nlist() {
+            let crow = self.centroids.row(c);
+            let mut d2 = 0f32;
+            for (&a, &b) in embedding.iter().chain(std::iter::once(&tail)).zip(crow) {
+                d2 += (a - b) * (a - b);
+            }
+            if d2 < best_d2 {
+                best = c;
+                best_d2 = d2;
+            }
+        }
+        let pos = self.offsets[best + 1] as usize;
+        self.entries.insert(pos, id);
+        for o in &mut self.offsets[best + 1..] {
+            *o += 1;
+        }
+        if self.quantized {
+            let max_abs = embedding.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+            let mut code = vec![0i8; self.dim];
+            if scale > 0.0 {
+                for (c, &x) in code.iter_mut().zip(embedding) {
+                    *c = (x / scale).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+            let eps = code
+                .iter()
+                .zip(embedding)
+                .map(|(&c, &x)| (x - scale * c as f32).abs())
+                .fold(0f32, f32::max);
+            let bound = eps + 8.0 * self.dim as f32 * f32::EPSILON * max_abs;
+            self.codes.splice(pos * self.dim..pos * self.dim, code);
+            self.scales.insert(pos, scale);
+            self.bounds.insert(pos, bound);
+        }
+        self.n_items += 1;
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ann.inserts", 1);
+        }
+        Ok(())
     }
 
     /// Number of inverted lists.
@@ -377,7 +488,17 @@ impl IvfIndex {
         allow_skip: bool,
     ) {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
-        assert_eq!(items.shape(), (self.n_items, self.dim), "item matrix mismatch");
+        // The item matrix may run *ahead* of the index during streaming
+        // (items registered but not yet folded into the lists are simply
+        // unreachable through the probe until they are inserted); it can
+        // never run behind.
+        assert!(
+            items.rows() >= self.n_items && items.cols() == self.dim,
+            "item matrix {:?} smaller than index ({}, {})",
+            items.shape(),
+            self.n_items,
+            self.dim
+        );
         let sp = imcat_obs::span("ann.probe.seconds");
         let nprobe = nprobe.clamp(1, self.nlist());
         scratch.certified = false;
@@ -627,6 +748,7 @@ impl IvfIndex {
         meta.put_u64(self.dim as u64);
         meta.put_u64(self.n_items as u64);
         meta.put_u32(self.quantized as u32);
+        meta.put_u64(self.phi2.to_bits());
         ck.insert(SEC_ANN_META, meta.into_bytes());
         let mut ce = Encoder::new();
         ce.put_tensor(&self.centroids);
@@ -651,11 +773,13 @@ impl IvfIndex {
         }
     }
 
-    /// Decodes and validates the `ann.*` sections of `ck`. `Ok(None)` when
-    /// the container carries no index; any malformed, truncated, or
-    /// semantically invalid section is an error — nothing partial escapes.
+    /// Decodes and validates the `ann.*` sections of `ck`, resolving each
+    /// name through the container's committed generation (if any).
+    /// `Ok(None)` when the container carries no index; any malformed,
+    /// truncated, or semantically invalid section is an error — nothing
+    /// partial escapes.
     pub fn from_checkpoint(ck: &Checkpoint) -> io::Result<Option<Self>> {
-        let Some(meta_bytes) = ck.get(SEC_ANN_META) else {
+        let Some(meta_bytes) = ck.resolve(SEC_ANN_META) else {
             return Ok(None);
         };
         let mut meta = Decoder::new(meta_bytes);
@@ -672,8 +796,12 @@ impl IvfIndex {
             1 => true,
             v => return Err(bad(format!("invalid quantized flag {v}"))),
         };
+        let phi2 = f64::from_bits(meta.u64()?);
+        if !phi2.is_finite() || phi2 < 0.0 {
+            return Err(bad("index Φ² must be finite and non-negative"));
+        }
         meta.finish()?;
-        let mut ce = Decoder::new(ck.require(SEC_ANN_CENTROIDS)?);
+        let mut ce = Decoder::new(ck.require_resolved(SEC_ANN_CENTROIDS)?);
         let centroids = ce.tensor()?;
         ce.finish()?;
         if centroids.shape() != (nlist, dim + 1) {
@@ -683,12 +811,12 @@ impl IvfIndex {
                 dim + 1
             )));
         }
-        let mut le = Decoder::new(ck.require(SEC_ANN_LISTS)?);
+        let mut le = Decoder::new(ck.require_resolved(SEC_ANN_LISTS)?);
         let offsets = le.u32s()?;
         let entries = le.u32s()?;
         le.finish()?;
         let (codes, scales, bounds) = if quantized {
-            let mut qe = Decoder::new(ck.require(SEC_ANN_CODES)?);
+            let mut qe = Decoder::new(ck.require_resolved(SEC_ANN_CODES)?);
             let codes: Vec<i8> = qe.bytes()?.iter().map(|&b| b as i8).collect();
             let n = qe.u64()? as usize;
             // Overflow-proof form of `4 * n > remaining` (scales are 4-byte f32s).
@@ -717,6 +845,7 @@ impl IvfIndex {
             n_items,
             seed,
             quantized,
+            phi2,
             centroids,
             offsets,
             entries,

@@ -7,6 +7,12 @@
 //!   cluster centers with it, and the IVF index trains its coarse quantizer
 //!   with it, so the intent machinery and the retrieval machinery share one
 //!   code path by construction.
+//! * [`index`] — the [`AnnIndex`] trait every backend serves behind:
+//!   probe, streamed [`AnnIndex::insert`], section persistence, staleness
+//!   check. [`AnnConfig::build_index`] / [`AnnConfig::load_index`] select
+//!   the concrete type ([`AnnKind`]); [`BruteIndex`] is the trivial
+//!   exhaustive-scan implementation the approximate backends are verified
+//!   against.
 //! * [`ivf`] — an IVF-Flat index over the frozen item-embedding matrix:
 //!   k-means partitions items into `nlist` inverted lists; a query probes
 //!   the `nprobe` closest lists and re-ranks the surviving candidates with
@@ -23,8 +29,10 @@
 
 #![warn(missing_docs)]
 
+pub mod index;
 pub mod ivf;
 pub mod kmeans;
 
+pub use index::{AnnIndex, AnnKind, BruteIndex};
 pub use ivf::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
 pub use kmeans::{assign_nearest, kmeans_centers};

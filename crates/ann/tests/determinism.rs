@@ -50,7 +50,7 @@ fn ivf_index_build_bit_identical_at_1_and_4_threads() {
     let mut rng = StdRng::seed_from_u64(9);
     let items = normal(400, 12, 1.0, &mut rng);
     for quantized in [false, true] {
-        let cfg = AnnConfig { nlist: 24, nprobe: 6, quantized };
+        let cfg = AnnConfig { nlist: 24, nprobe: 6, quantized, ..AnnConfig::default() };
         let bytes = |threads| {
             with_threads(threads, || {
                 let idx = IvfIndex::build(&items, &cfg, DEFAULT_BUILD_SEED);
@@ -73,7 +73,7 @@ fn probe_results_bit_identical_at_1_and_4_threads() {
     let mut rng = StdRng::seed_from_u64(13);
     let items = normal(500, 8, 1.0, &mut rng);
     let queries = normal(6, 8, 1.0, &mut rng);
-    let cfg = AnnConfig { nlist: 20, nprobe: 5, quantized: false };
+    let cfg = AnnConfig { nlist: 20, nprobe: 5, quantized: false, ..AnnConfig::default() };
     let mask: Vec<u32> = vec![3, 17, 250, 499];
     let run = |threads: usize| {
         with_threads(threads, || {

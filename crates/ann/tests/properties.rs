@@ -36,6 +36,7 @@ fn arbitrary_index(seed: u64) -> (IvfIndex, Tensor) {
         nlist: 1 + gen.below(n_items as u64) as usize,
         nprobe: 0,
         quantized: gen.below(2) == 1,
+        ..AnnConfig::default()
     };
     (IvfIndex::build(&items, &cfg, seed ^ 0xa11), items)
 }

@@ -28,7 +28,12 @@ fn ranked(scratch: &ProbeScratch, k: usize, top: &mut TopKScratch) -> Vec<(u32, 
 /// `query` under `mask`, at every `nprobe`. Returns whether any probe
 /// certified a skip, so callers can assert coverage.
 fn assert_skip_parity(items: &Tensor, query: &[f32], mask: &[u32], k: usize, seed: u64) -> bool {
-    let cfg = AnnConfig { nlist: 1 + (seed % 5) as usize, nprobe: 0, quantized: true };
+    let cfg = AnnConfig {
+        nlist: 1 + (seed % 5) as usize,
+        nprobe: 0,
+        quantized: true,
+        ..AnnConfig::default()
+    };
     let idx = IvfIndex::build(items, &cfg, seed);
     let mut fast = ProbeScratch::default();
     let mut slow = ProbeScratch::default();

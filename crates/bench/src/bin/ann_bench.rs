@@ -245,7 +245,8 @@ fn main() {
         .collect();
     let (brute_qps, brute_mean) = replay(&mut brute, &stream);
 
-    let base_ann = AnnConfig { nlist: nlist_knob, nprobe: 0, quantized: false };
+    let base_ann =
+        AnnConfig { nlist: nlist_knob, nprobe: 0, quantized: false, ..AnnConfig::default() };
     let nlist = base_ann.resolved_nlist(data.n_items());
     let default_nprobe = base_ann.resolved_nprobe(data.n_items());
 
@@ -305,7 +306,7 @@ fn main() {
     quantized_runs.push((default_nprobe, true));
     for (nprobe, quantized) in quantized_runs {
         let cfg = ServeConfig {
-            ann: Some(AnnConfig { nlist: nlist_knob, nprobe, quantized }),
+            ann: Some(AnnConfig { nlist: nlist_knob, nprobe, quantized, ..AnnConfig::default() }),
             ..uncached.clone()
         };
         let mut engine = Engine::load(&artifact_path, cfg).expect("artifact must load");
@@ -318,7 +319,12 @@ fn main() {
         let mut timed = Engine::load(
             &artifact_path,
             ServeConfig {
-                ann: Some(AnnConfig { nlist: nlist_knob, nprobe, quantized }),
+                ann: Some(AnnConfig {
+                    nlist: nlist_knob,
+                    nprobe,
+                    quantized,
+                    ..AnnConfig::default()
+                }),
                 ..uncached.clone()
             },
         )

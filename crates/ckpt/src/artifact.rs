@@ -139,16 +139,16 @@ impl Artifact {
     /// escapes — the caller either gets a fully validated artifact or an
     /// error.
     pub fn from_checkpoint(ck: &Checkpoint) -> io::Result<Self> {
-        let mut meta = Decoder::new(ck.require(SEC_META)?);
+        let mut meta = Decoder::new(ck.require_resolved(SEC_META)?);
         let model = meta.str()?.to_string();
         let n_users = meta.u64()? as usize;
         let n_items = meta.u64()? as usize;
         let dim = meta.u64()? as usize;
         meta.finish()?;
-        let mut ue = Decoder::new(ck.require(SEC_USER_EMB)?);
+        let mut ue = Decoder::new(ck.require_resolved(SEC_USER_EMB)?);
         let user_emb = ue.tensor()?;
         ue.finish()?;
-        let mut ve = Decoder::new(ck.require(SEC_ITEM_EMB)?);
+        let mut ve = Decoder::new(ck.require_resolved(SEC_ITEM_EMB)?);
         let item_emb = ve.tensor()?;
         ve.finish()?;
         if user_emb.shape() != (n_users, dim) {
@@ -163,7 +163,7 @@ impl Artifact {
                 item_emb.shape()
             )));
         }
-        let mut ms = Decoder::new(ck.require(SEC_MASKS)?);
+        let mut ms = Decoder::new(ck.require_resolved(SEC_MASKS)?);
         let n_masks = ms.u64()? as usize;
         if n_masks != n_users {
             return Err(bad(format!("artifact has {n_masks} masks for {n_users} users")));

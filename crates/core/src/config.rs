@@ -1,4 +1,19 @@
-//! IMCAT hyper-parameters (paper §V-D).
+//! IMCAT hyper-parameters (paper §V-D) and the workspace configuration
+//! surface: [`knobs`] is the single registry of every `IMCAT_*` runtime
+//! environment variable, with typed readers and a [`knobs::dump`] the
+//! network front-end serves from `/stats`.
+
+/// The `IMCAT_*` environment-knob registry and typed accessors.
+///
+/// Every operational knob in the workspace is declared once in
+/// [`knobs::KNOBS`] and read through `knob_usize` / `knob_u64` /
+/// `knob_f32` / `knob_f64` / `knob_flag` / `knob_str`, which assert
+/// registration in debug builds. The registry physically lives in
+/// `imcat_obs` — the one crate below every knob reader in the dependency
+/// graph — and this re-export is the library-facing entry point. The
+/// README's "Environment knobs" table is tested against the registry in
+/// `tests/knob_registry.rs`.
+pub use imcat_obs::knobs;
 
 /// Which sources participate in the contrastive alignment — the ablation axes
 /// of Table III.

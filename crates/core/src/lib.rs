@@ -31,7 +31,7 @@
 
 #![warn(missing_docs)]
 
-mod config;
+pub mod config;
 pub mod explain;
 pub mod imca;
 pub mod irm;

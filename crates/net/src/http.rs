@@ -15,6 +15,9 @@ use std::time::{Duration, Instant};
 
 /// Maximum request/response head size. Anything larger is malformed.
 pub const MAX_HEAD: usize = 8 * 1024;
+/// Maximum request body size (`POST /ingest` batches). Anything larger is
+/// rejected before buffering.
+pub const MAX_BODY: usize = 64 * 1024;
 /// Per-read/write socket timeout; total deadlines cap it further.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
@@ -23,15 +26,18 @@ pub const TEXT: &str = "text/plain; charset=utf-8";
 /// JSON content type.
 pub const JSON: &str = "application/json; charset=utf-8";
 
-/// One parsed request head (bodies are ignored: every route is a GET).
+/// One parsed request: head plus a `Content-Length` delimited body
+/// (bounded by [`MAX_BODY`]; empty for the GET routes).
 #[derive(Debug)]
 pub struct Request {
-    /// Request method (`GET`, ...).
+    /// Request method (`GET`, `POST`, ...).
     pub method: String,
     /// Raw request target, query string included.
     pub target: String,
     /// Whether the connection persists after the response.
     pub keep_alive: bool,
+    /// Request body bytes (empty when the request carried none).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -79,38 +85,44 @@ impl Conn {
         Self { stream, buf: Vec::with_capacity(512), scanned: 0 }
     }
 
-    /// Reads one request head, enforcing `deadline` across every read.
+    /// Reads one request (head + `Content-Length` body), enforcing
+    /// `deadline` across every read.
     ///
     /// Returns `Ok(None)` on a clean close between requests (the idle end
     /// of a keep-alive connection). A timeout surfaces as
-    /// [`io::ErrorKind::TimedOut`]; an oversized or malformed head as
-    /// [`io::ErrorKind::InvalidData`].
+    /// [`io::ErrorKind::TimedOut`]; an oversized or malformed head — or a
+    /// body past [`MAX_BODY`] — as [`io::ErrorKind::InvalidData`].
     pub fn read_request(&mut self, deadline: Instant) -> io::Result<Option<Request>> {
         loop {
             let from = self.scanned.saturating_sub(3).min(self.buf.len());
             if let Some(end) = find_head_end(&self.buf, from) {
                 let head: Vec<u8> = self.buf.drain(..end).collect();
                 self.scanned = 0;
-                return parse_head(&head).map(Some);
+                let (mut request, content_len) = parse_head(&head)?;
+                if content_len > MAX_BODY {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "request body too large",
+                    ));
+                }
+                // Pipelined body bytes may already sit in the carry-over
+                // buffer; read the remainder under the same deadline.
+                while self.buf.len() < content_len {
+                    if self.fill_buf(deadline)? == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ));
+                    }
+                }
+                request.body = self.buf.drain(..content_len).collect();
+                return Ok(Some(request));
             }
             self.scanned = self.buf.len();
             if self.buf.len() >= MAX_HEAD {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
             }
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                return Err(io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded"));
-            };
-            self.stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)))?;
-            let mut chunk = [0u8; 1024];
-            let n = match self.stream.read(&mut chunk) {
-                Ok(n) => n,
-                Err(e)
-                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-                {
-                    return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
-                }
-                Err(e) => return Err(e),
-            };
+            let n = self.fill_buf(deadline)?;
             if n == 0 {
                 return if self.buf.is_empty() {
                     Ok(None)
@@ -121,7 +133,27 @@ impl Conn {
                     ))
                 };
             }
-            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// One deadline-bounded socket read appended to the carry-over buffer.
+    /// Returns the byte count (0 = peer closed); mid-request EOF handling is
+    /// the caller's.
+    fn fill_buf(&mut self, deadline: Instant) -> io::Result<usize> {
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded"));
+        };
+        self.stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)))?;
+        let mut chunk = [0u8; 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"))
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -138,7 +170,7 @@ impl Conn {
     }
 }
 
-fn parse_head(head: &[u8]) -> io::Result<Request> {
+fn parse_head(head: &[u8]) -> io::Result<(Request, usize)> {
     let text = String::from_utf8_lossy(head);
     let mut lines = text.lines();
     let mut parts = lines.next().unwrap_or("").split_whitespace();
@@ -151,18 +183,25 @@ fn parse_head(head: &[u8]) -> io::Result<Request> {
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
     // Connection header overrides either way.
     let mut keep_alive = version != "HTTP/1.0";
+    let mut content_len = 0usize;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
-        if name.trim().eq_ignore_ascii_case("connection") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("connection") {
             let value = value.trim();
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_len = value
+                .trim()
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
         }
     }
-    Ok(Request { method, target, keep_alive })
+    Ok((Request { method, target, keep_alive, body: Vec::new() }, content_len))
 }
 
 /// Writes one response onto a raw stream (used by [`Conn::respond`] and by
@@ -241,26 +280,41 @@ mod tests {
             method: "GET".into(),
             target: "/recommend?user=7&k=20#frag".into(),
             keep_alive: true,
+            body: Vec::new(),
         };
         assert_eq!(req.path(), "/recommend");
         assert_eq!(req.query("user"), Some("7"));
         assert_eq!(req.query("k"), Some("20"));
         assert_eq!(req.query("missing"), None);
-        let bare = Request { method: "GET".into(), target: "/healthz".into(), keep_alive: true };
+        let bare = Request {
+            method: "GET".into(),
+            target: "/healthz".into(),
+            keep_alive: true,
+            body: Vec::new(),
+        };
         assert_eq!(bare.path(), "/healthz");
         assert_eq!(bare.query("user"), None);
     }
 
     #[test]
     fn head_parsing_versions_and_connection_header() {
-        let req = parse_head(b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
+        let (req, _) = parse_head(b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
-        let req = parse_head(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let (req, _) = parse_head(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
-        let req = parse_head(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+        let (req, _) = parse_head(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
         assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
-        let req = parse_head(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        let (req, _) = parse_head(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
         assert!(req.keep_alive);
         assert!(parse_head(b"\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn head_parsing_reads_content_length() {
+        let (req, len) =
+            parse_head(b"POST /ingest HTTP/1.1\r\nContent-Length: 11\r\n\r\n").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(len, 11);
+        assert!(parse_head(b"POST /x HTTP/1.1\r\nContent-Length: junk\r\n\r\n").is_err());
     }
 }

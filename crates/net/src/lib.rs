@@ -34,12 +34,14 @@ pub use server::{NetConfig, NetStats, Server};
 pub use shard::{shard_artifact, shard_ranges, ShardedEngine};
 
 /// Parses a `usize` environment knob, falling back to `default` when the
-/// variable is unset or malformed.
+/// variable is unset or malformed. Delegates to the workspace knob
+/// registry (`imcat_obs::knobs`), so the key must be registered there.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    imcat_obs::knob_usize(key, default)
 }
 
-/// Parses a `u64` environment knob, falling back to `default`.
+/// Parses a `u64` environment knob, falling back to `default`. Registry-
+/// checked like [`env_usize`].
 pub fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    imcat_obs::knob_u64(key, default)
 }

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use imcat_ckpt::Artifact;
 use imcat_obs::Json;
-use imcat_serve::{Recommendation, ServeConfig, ServeError};
+use imcat_serve::{Interaction, Recommendation, ServeConfig, ServeError};
 
 use crate::http::{self, Conn, Request, JSON, TEXT};
 use crate::shard::ShardedEngine;
@@ -117,16 +117,33 @@ pub struct NetStats {
     pub rejected: u64,
     /// Requests that timed out queued or in-flight (`504`/`408`).
     pub timeouts: u64,
+    /// Interactions accepted through `POST /ingest`.
+    pub ingested: u64,
 }
 
-/// One queued request plus the slot its answer lands in.
+/// One queued request plus the slot its answer lands in. Mutations ride
+/// the same bounded queue as reads — admission control covers ingestion
+/// identically, and the single batcher serializes every engine mutation.
 struct Job {
-    user: u32,
-    k: usize,
+    kind: JobKind,
     slot: Arc<Slot>,
 }
 
-type Answer = Result<Vec<Recommendation>, ServeError>;
+enum JobKind {
+    Recommend { user: u32, k: usize },
+    Ingest(Vec<Interaction>),
+    RegisterUser,
+    RegisterItem,
+}
+
+/// What the batcher hands back for one job.
+enum Answer {
+    Recs(Result<Vec<Recommendation>, ServeError>),
+    /// Per-interaction outcomes, in submission order.
+    Ingested(Vec<Result<(), ServeError>>),
+    /// Id assigned to the registered entity.
+    Registered(u32),
+}
 
 /// Single-use rendezvous between a worker and the batcher.
 struct Slot {
@@ -251,14 +268,17 @@ struct Shared {
     cfg: NetConfig,
     conns: Queue<TcpStream>,
     jobs: Queue<Job>,
-    n_users: u32,
-    n_items: usize,
+    /// Live entity counts, maintained by the batcher as registrations land
+    /// (reads are advisory: the engine revalidates every job).
+    n_users: AtomicU64,
+    n_items: AtomicU64,
     shutdown: AtomicBool,
     requests: AtomicU64,
     answered: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
     timeouts: AtomicU64,
+    ingested: AtomicU64,
 }
 
 /// The running front-end: bound socket plus its thread complement. Dropping
@@ -284,14 +304,15 @@ impl Server {
         let shared = Arc::new(Shared {
             conns: Queue::new(cfg.queue),
             jobs: Queue::new(cfg.queue),
-            n_users: engine.n_users() as u32,
-            n_items: engine.n_items(),
+            n_users: AtomicU64::new(engine.n_users() as u64),
+            n_items: AtomicU64::new(engine.n_items() as u64),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
             cfg,
         });
         let mut handles = Vec::new();
@@ -335,6 +356,7 @@ impl Server {
             shed: self.shared.shed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             timeouts: self.shared.timeouts.load(Ordering::Relaxed),
+            ingested: self.shared.ingested.load(Ordering::Relaxed),
         }
     }
 
@@ -430,29 +452,66 @@ fn serve_one(
     deadline: Instant,
 ) -> io::Result<()> {
     let keep = request.keep_alive;
-    if request.method != "GET" {
-        return conn.respond("405 Method Not Allowed", TEXT, "method not allowed\n", keep);
-    }
-    match request.path() {
-        "/healthz" => conn.respond("200 OK", TEXT, "ok\n", keep),
-        "/stats" => {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => conn.respond("200 OK", TEXT, "ok\n", keep),
+        ("GET", "/stats") => {
+            // The effective `IMCAT_*` configuration rides along so a live
+            // process reports the knobs it actually runs under.
+            let knobs = Json::obj(
+                imcat_obs::knobs::dump()
+                    .into_iter()
+                    .map(|(key, value)| (key, Json::Str(value)))
+                    .collect(),
+            );
             let body = Json::obj(vec![
                 ("shards", Json::Num(shared.cfg.shards as f64)),
                 ("workers", Json::Num(shared.cfg.workers as f64)),
                 ("queue", Json::Num(shared.cfg.queue as f64)),
-                ("n_users", Json::Num(shared.n_users as f64)),
-                ("n_items", Json::Num(shared.n_items as f64)),
+                ("n_users", Json::Num(shared.n_users.load(Ordering::Relaxed) as f64)),
+                ("n_items", Json::Num(shared.n_items.load(Ordering::Relaxed) as f64)),
                 ("requests", Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
                 ("answered", Json::Num(shared.answered.load(Ordering::Relaxed) as f64)),
                 ("shed", Json::Num(shared.shed.load(Ordering::Relaxed) as f64)),
                 ("rejected", Json::Num(shared.rejected.load(Ordering::Relaxed) as f64)),
                 ("timeouts", Json::Num(shared.timeouts.load(Ordering::Relaxed) as f64)),
+                ("ingested", Json::Num(shared.ingested.load(Ordering::Relaxed) as f64)),
+                ("knobs", knobs),
             ]);
             conn.respond("200 OK", JSON, &body.render(), keep)
         }
-        "/recommend" => serve_recommend(conn, request, shared, deadline),
+        ("GET", "/recommend") => serve_recommend(conn, request, shared, deadline),
+        ("POST", "/ingest") => serve_ingest(conn, request, shared, deadline),
+        ("POST", "/users") => {
+            serve_register(conn, request, shared, deadline, JobKind::RegisterUser)
+        }
+        ("POST", "/items") => {
+            serve_register(conn, request, shared, deadline, JobKind::RegisterItem)
+        }
+        ("GET", _) => conn.respond("404 Not Found", TEXT, "not found\n", keep),
+        (_, "/recommend")
+        | (_, "/healthz")
+        | (_, "/stats")
+        | (_, "/ingest")
+        | (_, "/users")
+        | (_, "/items") => {
+            conn.respond("405 Method Not Allowed", TEXT, "method not allowed\n", keep)
+        }
         _ => conn.respond("404 Not Found", TEXT, "not found\n", keep),
     }
+}
+
+/// Pushes `kind` through the bounded job queue and waits for the batcher.
+/// `None` = shed (queue full), `Some(None)` = deadline, `Some(Some(a))` =
+/// answered.
+fn submit(shared: &Shared, kind: JobKind, deadline: Instant) -> Option<Option<Answer>> {
+    let slot = Arc::new(Slot::new());
+    if shared.jobs.try_push(Job { kind, slot: slot.clone() }).is_err() {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        OBS_SHED.add(1);
+        imcat_obs::counter_add("net.shed.jobs", 1);
+        return None;
+    }
+    Some(slot.wait(deadline))
 }
 
 fn serve_recommend(
@@ -476,21 +535,17 @@ fn serve_recommend(
         );
     };
     let t0 = Instant::now();
-    let slot = Arc::new(Slot::new());
-    if shared.jobs.try_push(Job { user, k, slot: slot.clone() }).is_err() {
-        // Parsed but inadmissible: the tick backlog is at capacity.
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        OBS_SHED.add(1);
-        imcat_obs::counter_add("net.shed.jobs", 1);
-        return conn.respond(
-            "503 Service Unavailable",
-            JSON,
-            &error_body("overloaded: request queue full"),
-            keep,
-        );
-    }
-    match slot.wait(deadline) {
+    match submit(shared, JobKind::Recommend { user, k }, deadline) {
         None => {
+            // Parsed but inadmissible: the tick backlog is at capacity.
+            conn.respond(
+                "503 Service Unavailable",
+                JSON,
+                &error_body("overloaded: request queue full"),
+                keep,
+            )
+        }
+        Some(None) => {
             shared.timeouts.fetch_add(1, Ordering::Relaxed);
             OBS_NET_TIMEOUTS.add(1);
             conn.respond(
@@ -500,11 +555,11 @@ fn serve_recommend(
                 keep,
             )
         }
-        Some(Err(e)) => {
+        Some(Some(Answer::Recs(Err(e)))) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             conn.respond("400 Bad Request", JSON, &error_body(&e.to_string()), keep)
         }
-        Some(Ok(recs)) => {
+        Some(Some(Answer::Recs(Ok(recs)))) => {
             shared.answered.fetch_add(1, Ordering::Relaxed);
             OBS_NET_SECONDS.observe(t0.elapsed().as_secs_f64());
             // `score_bits` carries the exact f32 bit patterns (u32 < 2^53,
@@ -522,6 +577,158 @@ fn serve_recommend(
             ]);
             conn.respond("200 OK", JSON, &body.render(), keep)
         }
+        Some(Some(_)) => {
+            conn.respond("500 Internal Server Error", JSON, &error_body("answer mismatch"), keep)
+        }
+    }
+}
+
+/// `POST /ingest`: one interaction per body line (`user item`, whitespace
+/// separated), or a single `?user=U&item=I` pair with an empty body. The
+/// whole batch rides one bounded-queue job; per-interaction outcomes come
+/// back in order, so one stale id rejects that line and never the batch.
+fn serve_ingest(
+    conn: &mut Conn,
+    request: &Request,
+    shared: &Shared,
+    deadline: Instant,
+) -> io::Result<()> {
+    let keep = request.keep_alive;
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    OBS_NET_REQUESTS.add(1);
+    let batch = match parse_ingest(request) {
+        Ok(batch) if batch.is_empty() => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return conn.respond(
+                "400 Bad Request",
+                JSON,
+                &error_body("no interactions: send `user item` lines or ?user=&item="),
+                keep,
+            );
+        }
+        Ok(batch) => batch,
+        Err(msg) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return conn.respond("400 Bad Request", JSON, &error_body(msg), keep);
+        }
+    };
+    match submit(shared, JobKind::Ingest(batch), deadline) {
+        None => conn.respond(
+            "503 Service Unavailable",
+            JSON,
+            &error_body("overloaded: request queue full"),
+            keep,
+        ),
+        Some(None) => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            OBS_NET_TIMEOUTS.add(1);
+            conn.respond(
+                "504 Gateway Timeout",
+                JSON,
+                &error_body("request deadline exceeded"),
+                keep,
+            )
+        }
+        Some(Some(Answer::Ingested(results))) => {
+            let accepted = results.iter().filter(|r| r.is_ok()).count();
+            let errors: Vec<Json> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    r.as_ref().err().map(|e| {
+                        Json::obj(vec![
+                            ("index", Json::Num(i as f64)),
+                            ("error", Json::Str(e.to_string())),
+                        ])
+                    })
+                })
+                .collect();
+            shared.ingested.fetch_add(accepted as u64, Ordering::Relaxed);
+            let all_rejected = accepted == 0;
+            let body = Json::obj(vec![
+                ("accepted", Json::Num(accepted as f64)),
+                ("rejected", Json::Num(errors.len() as f64)),
+                ("errors", Json::Arr(errors)),
+            ]);
+            if all_rejected {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                conn.respond("400 Bad Request", JSON, &body.render(), keep)
+            } else {
+                shared.answered.fetch_add(1, Ordering::Relaxed);
+                conn.respond("200 OK", JSON, &body.render(), keep)
+            }
+        }
+        Some(Some(_)) => {
+            conn.respond("500 Internal Server Error", JSON, &error_body("answer mismatch"), keep)
+        }
+    }
+}
+
+fn parse_ingest(request: &Request) -> Result<Vec<Interaction>, &'static str> {
+    let mut batch = Vec::new();
+    if let (Some(user), Some(item)) = (request.query("user"), request.query("item")) {
+        let user = user.parse().map_err(|_| "numeric `user` required")?;
+        let item = item.parse().map_err(|_| "numeric `item` required")?;
+        batch.push(Interaction { user, item });
+    }
+    let text = std::str::from_utf8(&request.body).map_err(|_| "body must be UTF-8")?;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(u), Some(i), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err("each body line must be `user item`");
+        };
+        let user = u.parse().map_err(|_| "numeric `user` required")?;
+        let item = i.parse().map_err(|_| "numeric `item` required")?;
+        batch.push(Interaction { user, item });
+    }
+    Ok(batch)
+}
+
+/// `POST /users` / `POST /items`: registers one cold entity, returning the
+/// assigned dense id. Serialized through the batcher like every mutation.
+fn serve_register(
+    conn: &mut Conn,
+    request: &Request,
+    shared: &Shared,
+    deadline: Instant,
+    kind: JobKind,
+) -> io::Result<()> {
+    let keep = request.keep_alive;
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    OBS_NET_REQUESTS.add(1);
+    let field = match kind {
+        JobKind::RegisterUser => "user",
+        _ => "item",
+    };
+    match submit(shared, kind, deadline) {
+        None => conn.respond(
+            "503 Service Unavailable",
+            JSON,
+            &error_body("overloaded: request queue full"),
+            keep,
+        ),
+        Some(None) => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            OBS_NET_TIMEOUTS.add(1);
+            conn.respond(
+                "504 Gateway Timeout",
+                JSON,
+                &error_body("request deadline exceeded"),
+                keep,
+            )
+        }
+        Some(Some(Answer::Registered(id))) => {
+            shared.answered.fetch_add(1, Ordering::Relaxed);
+            let body = Json::obj(vec![(field, Json::Num(id as f64))]);
+            conn.respond("201 Created", JSON, &body.render(), keep)
+        }
+        Some(Some(_)) => {
+            conn.respond("500 Internal Server Error", JSON, &error_body("answer mismatch"), keep)
+        }
     }
 }
 
@@ -533,10 +740,46 @@ fn batcher_loop(mut engine: ShardedEngine, shared: &Shared) {
             // popped before close took effect.
             return;
         }
-        let requests: Vec<(u32, usize)> = jobs.iter().map(|j| (j.user, j.k)).collect();
-        let answers = engine.recommend_batch(&requests);
+        // Mutations first, in arrival order (ordering against reads in the
+        // same tick is not contractual — the requests were concurrent), so
+        // this tick's recommendations already see this tick's ingests.
+        let mut mutated = false;
+        let mut recommends: Vec<(usize, u32, usize)> = Vec::new();
+        let mut answers: Vec<Option<Answer>> = jobs.iter().map(|_| None).collect();
+        for (i, job) in jobs.iter().enumerate() {
+            match &job.kind {
+                JobKind::Recommend { user, k } => recommends.push((i, *user, *k)),
+                JobKind::Ingest(batch) => {
+                    mutated = true;
+                    answers[i] = Some(Answer::Ingested(engine.ingest_batch(batch)));
+                }
+                JobKind::RegisterUser => {
+                    mutated = true;
+                    answers[i] = Some(Answer::Registered(engine.register_user()));
+                }
+                JobKind::RegisterItem => {
+                    mutated = true;
+                    answers[i] = Some(Answer::Registered(engine.register_item()));
+                }
+            }
+        }
+        if mutated {
+            // Fold off the request path: cold entities become reachable at
+            // the end of the tick that admitted them.
+            engine.fold_pending();
+            shared.n_users.store(engine.n_users() as u64, Ordering::Relaxed);
+            shared.n_items.store(engine.n_items() as u64, Ordering::Relaxed);
+        }
+        if !recommends.is_empty() {
+            let requests: Vec<(u32, usize)> = recommends.iter().map(|&(_, u, k)| (u, k)).collect();
+            for (&(i, _, _), answer) in recommends.iter().zip(engine.recommend_batch(&requests)) {
+                answers[i] = Some(Answer::Recs(answer));
+            }
+        }
         for (job, answer) in jobs.into_iter().zip(answers) {
-            job.slot.fill(answer);
+            if let Some(answer) = answer {
+                job.slot.fill(answer);
+            }
         }
     }
 }

@@ -23,7 +23,7 @@ use std::io;
 
 use imcat_ckpt::Artifact;
 use imcat_eval::{top_n_masked_with, TopKScratch};
-use imcat_serve::{Engine, Recommendation, ServeConfig, ServeError, ServeStats};
+use imcat_serve::{Engine, Interaction, Recommendation, ServeConfig, ServeError, ServeStats};
 use imcat_tensor::Tensor;
 
 /// Splits `n_items` into `n_shards` contiguous, near-equal `[lo, hi)`
@@ -124,6 +124,64 @@ impl ShardedEngine {
     /// Per-replica serving statistics, in shard order.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.shards.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// The shard owning global item id `item` (bases are ascending, so the
+    /// owner is the last shard whose base is `<= item`).
+    fn owner_of(&self, item: u32) -> usize {
+        self.shards.partition_point(|s| s.base <= item) - 1
+    }
+
+    /// Registers a cold user on **every** replica (user embeddings are
+    /// carried whole per shard, so ids stay aligned) and returns the new
+    /// global id.
+    pub fn register_user(&mut self) -> u32 {
+        let id = self.n_users;
+        for shard in &mut self.shards {
+            shard.engine.register_user();
+        }
+        self.n_users += 1;
+        id
+    }
+
+    /// Registers a cold item and returns its global id. Item ranges are
+    /// contiguous, so the new tail id belongs to the **last** replica; the
+    /// others never learn it exists (their slices are unchanged).
+    pub fn register_item(&mut self) -> u32 {
+        let id = self.n_items as u32;
+        self.shards.last_mut().expect("at least one shard").engine.register_item();
+        self.n_items += 1;
+        id
+    }
+
+    /// Ingests one interaction, routing it to the replica owning the item
+    /// (shard-local id). Validation is global, so a rejected interaction
+    /// reports global ranges.
+    pub fn ingest(&mut self, x: Interaction) -> Result<(), ServeError> {
+        if x.user >= self.n_users {
+            return Err(ServeError::UserOutOfRange { user: x.user, n_users: self.n_users });
+        }
+        if x.item as usize >= self.n_items {
+            return Err(ServeError::ItemOutOfRange { item: x.item, n_items: self.n_items as u32 });
+        }
+        let s = self.owner_of(x.item);
+        let local = Interaction { user: x.user, item: x.item - self.shards[s].base };
+        self.shards[s].engine.ingest(local)
+    }
+
+    /// Ingests a batch in order, one result per interaction.
+    pub fn ingest_batch(&mut self, xs: &[Interaction]) -> Vec<Result<(), ServeError>> {
+        xs.iter().map(|&x| self.ingest(x)).collect()
+    }
+
+    /// Folds pending cold entities on every replica. With more than one
+    /// shard, a cold user folds per replica from the evidence that replica
+    /// holds — the honest in-process stand-in for scale-out, where each
+    /// machine folds from the interactions it has seen. At the default
+    /// single shard this is exactly [`Engine::fold_pending`]. Returns the
+    /// total embeddings written across replicas.
+    pub fn fold_pending(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.engine.fold_pending()).sum()
     }
 
     /// Answers one request through the full fan-out/merge path.

@@ -53,6 +53,19 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     read_response(&mut stream, &mut buf).expect("read response")
 }
 
+/// One POST on a fresh `Connection: close` socket, with a body.
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut buf = Vec::new();
+    read_response(&mut stream, &mut buf).expect("read response")
+}
+
 #[test]
 fn routes_health_stats_and_errors() {
     let _guard = net_lock().lock().unwrap();
@@ -139,6 +152,77 @@ fn served_answers_are_bit_identical_to_local_engine() {
         );
     }
     drop(stream);
+    server.shutdown();
+}
+
+/// Full mutable-serving surface over the wire: registration returns dense
+/// ids, single and batch ingestion are accepted with per-line typed errors,
+/// an all-rejected batch is a `400`, and the cold user is servable right
+/// after the mutating tick (the batcher folds before storing counters).
+#[test]
+fn streaming_mutations_round_trip_over_the_wire() {
+    let _guard = net_lock().lock().unwrap();
+    let server = start(NetConfig { shards: 2, ..Default::default() });
+    let addr = server.addr();
+    let n_users = artifact().n_users() as u32;
+    let n_items = artifact().n_items() as u32;
+
+    let (status, body) = post(addr, "/users", "");
+    assert_eq!(status, 201, "register user: {body}");
+    let cold = Json::parse(&body).unwrap().get("user").and_then(Json::as_f64).unwrap() as u32;
+    assert_eq!(cold, n_users, "cold user id must be the next dense id");
+    let (status, body) = post(addr, "/items", "");
+    assert_eq!(status, 201, "register item: {body}");
+    let new_item = Json::parse(&body).unwrap().get("item").and_then(Json::as_f64).unwrap() as u32;
+    assert_eq!(new_item, n_items, "cold item id must be the next dense id");
+
+    // Single interaction via query parameters, no body.
+    let (status, body) = post(addr, &format!("/ingest?user={cold}&item=3"), "");
+    assert_eq!(status, 200, "query ingest: {body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("accepted").and_then(Json::as_f64), Some(1.0), "{body}");
+    assert_eq!(doc.get("rejected").and_then(Json::as_f64), Some(0.0), "{body}");
+
+    // Batch via body lines; the middle line names a stale item and is
+    // rejected per-line without sinking the rest of the batch.
+    let batch = format!("{cold} 5\n0 {}\n{cold} {new_item}\n", n_items + 40);
+    let (status, body) = post(addr, "/ingest", &batch);
+    assert_eq!(status, 200, "batch ingest: {body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("accepted").and_then(Json::as_f64), Some(2.0), "{body}");
+    assert_eq!(doc.get("rejected").and_then(Json::as_f64), Some(1.0), "{body}");
+    let errors = doc.get("errors").and_then(Json::as_array).unwrap();
+    assert_eq!(errors[0].get("index").and_then(Json::as_f64), Some(1.0), "{body}");
+    let msg = errors[0].get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("out of range"), "typed per-line error missing: {body}");
+
+    // Every line stale: the whole request is a 400, still with typed lines.
+    let (status, body) = post(addr, "/ingest", &format!("{} 0\n", n_users + 99));
+    assert_eq!(status, 400, "all-rejected batch: {body}");
+    assert!(body.contains("out of range"), "all-rejected batch keeps typed errors: {body}");
+    // Malformed lines and empty payloads are parse-level 400s.
+    let (status, _) = post(addr, "/ingest", "1 2 3\n");
+    assert_eq!(status, 400);
+    let (status, _) = post(addr, "/ingest", "");
+    assert_eq!(status, 400);
+
+    // The cold user is servable immediately: the batcher folds pending
+    // entities at the end of every mutating tick.
+    let (status, body) = get(addr, &format!("/recommend?user={cold}&k=5"));
+    assert_eq!(status, 200, "cold user recommend: {body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("items").and_then(Json::as_array).unwrap().len(), 5, "{body}");
+
+    // /stats reflects the mutations and reports the live knob registry.
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("ingested").and_then(Json::as_f64), Some(3.0), "{body}");
+    assert_eq!(doc.get("n_users").and_then(Json::as_f64), Some((n_users + 1) as f64), "{body}");
+    assert_eq!(doc.get("n_items").and_then(Json::as_f64), Some((n_items + 1) as f64), "{body}");
+    let knobs = doc.get("knobs").expect("stats exposes the knob registry");
+    assert!(knobs.get("IMCAT_INGEST_FOLD_LAMBDA").is_some(), "knob registry missing: {body}");
+    assert_eq!(server.stats().ingested, 3);
     server.shutdown();
 }
 

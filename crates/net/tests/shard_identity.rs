@@ -100,7 +100,7 @@ fn sharded_exhaustive_ann_probe_matches_unsharded_brute_force() {
     let art = artifact();
     let brute = ServeConfig::default();
     let ann = ServeConfig {
-        ann: Some(AnnConfig { nlist: 4, nprobe: 4, quantized: false }),
+        ann: Some(AnnConfig { nlist: 4, nprobe: 4, quantized: false, ..AnnConfig::default() }),
         ..Default::default()
     };
     let mut reference = Engine::new(art.clone(), brute).unwrap();

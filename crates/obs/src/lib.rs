@@ -53,11 +53,13 @@ use std::time::Instant;
 pub mod expo;
 pub mod http;
 mod json;
+pub mod knobs;
 pub mod registry;
 pub mod sketch;
 pub mod trace;
 
 pub use json::{Json, ToJson};
+pub use knobs::{knob_f32, knob_f64, knob_flag, knob_str, knob_u64, knob_usize};
 pub use registry::{enabled, register_thread, set_enabled};
 
 /// Histogram bucket upper bounds in seconds: `1µs · 2^i`. Values above the

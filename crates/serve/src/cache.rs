@@ -25,6 +25,9 @@ struct Node {
 pub struct LruCache {
     map: HashMap<CacheKey, usize>,
     slab: Vec<Node>,
+    /// Slab slots vacated by [`LruCache::remove_user`], reused before the
+    /// slab grows.
+    free: Vec<usize>,
     head: usize,
     tail: usize,
     capacity: usize,
@@ -38,6 +41,7 @@ impl LruCache {
         Self {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -105,7 +109,12 @@ impl LruCache {
             self.attach_front(slot);
             return;
         }
-        let slot = if self.map.len() >= self.capacity {
+        let slot = if let Some(slot) = self.free.pop() {
+            // Reuse a slot vacated by per-user invalidation.
+            self.slab[slot].key = key;
+            self.slab[slot].value = value;
+            slot
+        } else if self.map.len() >= self.capacity {
             // Reuse the LRU slot.
             let victim = self.tail;
             self.detach(victim);
@@ -126,8 +135,24 @@ impl LruCache {
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
+        self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+
+    /// Drops every cached list belonging to `user` (all `k` cutoffs),
+    /// leaving other users' entries hot. O(len) scan — invalidation is per
+    /// ingested interaction, which is far rarer than lookups. Returns the
+    /// number of entries removed.
+    pub fn remove_user(&mut self, user: u32) -> usize {
+        let keys: Vec<CacheKey> = self.map.keys().filter(|k| k.0 == user).copied().collect();
+        for key in &keys {
+            let slot = self.map.remove(key).expect("key just listed");
+            self.detach(slot);
+            self.slab[slot].value = Vec::new();
+            self.free.push(slot);
+        }
+        keys.len()
     }
 
     fn detach(&mut self, slot: usize) {
@@ -229,6 +254,39 @@ mod tests {
         assert_eq!(c.misses(), 1);
         c.put((1, 10), recs(4));
         assert_eq!(c.get((1, 10)).unwrap()[0].item, 4);
+    }
+
+    #[test]
+    fn remove_user_drops_all_cutoffs_and_reuses_slots() {
+        let mut c = LruCache::new(4);
+        c.put((1, 5), recs(1));
+        c.put((1, 10), recs(2));
+        c.put((2, 5), recs(3));
+        assert_eq!(c.remove_user(1), 2);
+        assert!(!c.contains((1, 5)));
+        assert!(!c.contains((1, 10)));
+        assert!(c.contains((2, 5)), "other user's entry was invalidated");
+        assert_eq!(c.len(), 1);
+        // Freed slots are reusable and the list stays consistent.
+        c.put((3, 5), recs(4));
+        c.put((4, 5), recs(5));
+        c.put((5, 5), recs(6));
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get((2, 5)).unwrap()[0].item, 3);
+        assert_eq!(c.remove_user(9), 0);
+    }
+
+    #[test]
+    fn heavy_churn_with_removal_keeps_map_and_list_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.put((i % 13, (i % 3) as usize), recs(i));
+            let _ = c.get((i % 7, (i % 3) as usize));
+            if i % 11 == 0 {
+                c.remove_user(i % 13);
+            }
+            assert!(c.len() <= 8);
+        }
     }
 
     #[test]

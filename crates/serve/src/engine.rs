@@ -39,15 +39,18 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
+use imcat_ann::{AnnConfig, AnnIndex, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
 use imcat_ckpt::{Artifact, Checkpoint};
 use imcat_eval::{top_n_masked_with, TopKScratch};
 use imcat_obs::Histogram;
 
 use crate::cache::{CacheKey, LruCache};
+use crate::foldin::{fold_embedding, FoldOptions};
+use crate::ingest::{append_row, mask_insert, Interaction, StreamEvent};
+use crate::rebuild::{self, RebuildTask};
 
 static OBS_REQUESTS: imcat_obs::Counter = imcat_obs::Counter::new("serve.requests");
 static OBS_REQUEST_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("serve.request.seconds");
@@ -56,6 +59,7 @@ static OBS_TICK_SECONDS: imcat_obs::Hist = imcat_obs::Hist::new("serve.tick.seco
 static OBS_CACHE_HITS: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.hits");
 static OBS_CACHE_MISSES: imcat_obs::Counter = imcat_obs::Counter::new("serve.cache.misses");
 static OBS_REJECTS: imcat_obs::Counter = imcat_obs::Counter::new("serve.rejects");
+static OBS_INGESTS: imcat_obs::Counter = imcat_obs::Counter::new("ingest.events");
 
 /// A request the engine refuses to answer — *never* by panicking.
 ///
@@ -73,6 +77,14 @@ pub enum ServeError {
         /// Number of users the live artifact serves.
         n_users: u32,
     },
+    /// The referenced item id is outside the live catalog (ingestion only —
+    /// recommendations never name items).
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// Number of items in the live catalog.
+        n_items: u32,
+    },
     /// `k == 0` requests an empty ranking; rejected so a zero cutoff can
     /// never pollute the cache or divide downstream metrics by zero.
     ZeroK,
@@ -83,6 +95,9 @@ impl fmt::Display for ServeError {
         match self {
             Self::UserOutOfRange { user, n_users } => {
                 write!(f, "user {user} out of range (artifact has {n_users} users)")
+            }
+            Self::ItemOutOfRange { item, n_items } => {
+                write!(f, "item {item} out of range (catalog has {n_items} items)")
             }
             Self::ZeroK => write!(f, "k must be at least 1"),
         }
@@ -109,16 +124,17 @@ impl Default for ServeConfig {
     }
 }
 
-/// Live ANN retrieval state: the index plus its reusable probe buffers.
+/// Live ANN retrieval state: the index (whichever [`imcat_ann::AnnKind`]
+/// the config selects) plus its reusable probe buffers.
 struct AnnState {
     cfg: AnnConfig,
-    index: IvfIndex,
+    index: Box<dyn AnnIndex>,
     scratch: ProbeScratch,
 }
 
 impl AnnState {
     fn build(artifact: &Artifact, cfg: AnnConfig) -> Self {
-        let index = IvfIndex::build(&artifact.item_emb, &cfg, DEFAULT_BUILD_SEED);
+        let index = cfg.build_index(&artifact.item_emb, DEFAULT_BUILD_SEED);
         Self { cfg, index, scratch: ProbeScratch::default() }
     }
 }
@@ -154,7 +170,25 @@ pub struct ServeStats {
     pub busy_seconds: f64,
 }
 
-/// Top-K retrieval engine over one frozen [`Artifact`].
+/// Top-K retrieval engine over one [`Artifact`] generation, mutable at the
+/// edges: streamed interactions, cold-entity registration, fold-in, and a
+/// background full rebuild that swaps the next generation in atomically.
+///
+/// ## Streaming state machine
+///
+/// Each generation starts from a *base* artifact (what `new`/`load`/
+/// `reload`/`commit_rebuild` installed). Mutations accumulate in an
+/// arrival-ordered [`StreamEvent`] log and are applied live: masks update
+/// immediately, embeddings fold in at [`Engine::fold_pending`] ticks. The
+/// invariant that keeps ANN certified-skip sound is **items fold once**:
+/// the index covers exactly the items finalized into the item matrix
+/// (`frozen_items`); a registered item's embedding is written and inserted
+/// into the index at its first fold tick and never touched again until the
+/// next generation. Users are not indexed, so they refold freely at every
+/// tick as their evidence grows.
+///
+/// The log is canonical: `rebuild_artifact(base, log)` run offline is
+/// bit-identical to the artifact the background rebuild swaps in.
 pub struct Engine {
     artifact: Artifact,
     cfg: ServeConfig,
@@ -163,16 +197,28 @@ pub struct Engine {
     ann: Option<AnnState>,
     latency: Histogram,
     served: u64,
+    /// The generation's base artifact, cloned lazily before the first
+    /// mutation (`None` while the generation is pristine).
+    base: Option<Artifact>,
+    /// Arrival-ordered mutation log since `base`.
+    log: Vec<StreamEvent>,
+    /// Items `0..frozen_items` have final embeddings and are covered by the
+    /// ANN index; items past it are registered but still cold (zero row,
+    /// unreachable through a probe until the next fold tick).
+    frozen_items: usize,
+    fold: FoldOptions,
+    generation: u64,
 }
 
 impl Engine {
     /// Builds an engine over a validated artifact. When [`ServeConfig::ann`]
-    /// is set the IVF index is built here (deterministically, from the item
+    /// is set the index is built here (deterministically, from the item
     /// embeddings alone).
     pub fn new(artifact: Artifact, cfg: ServeConfig) -> io::Result<Self> {
         artifact.validate()?;
         let cache = LruCache::new(cfg.cache_capacity);
         let ann = cfg.ann.map(|c| AnnState::build(&artifact, c));
+        let frozen_items = artifact.n_items();
         Ok(Self {
             artifact,
             cfg,
@@ -181,6 +227,11 @@ impl Engine {
             ann,
             latency: Histogram::default(),
             served: 0,
+            base: None,
+            log: Vec::new(),
+            frozen_items,
+            fold: FoldOptions::from_env(),
+            generation: 0,
         })
     }
 
@@ -202,7 +253,7 @@ impl Engine {
         let mut ck = Checkpoint::load(&path)?;
         let artifact = Artifact::from_checkpoint(&ck)?;
         artifact.validate()?;
-        let loaded = match IvfIndex::from_checkpoint(&ck) {
+        let loaded = match ann_cfg.load_index(&ck) {
             Ok(idx) => idx.filter(|idx| {
                 idx.matches(&ann_cfg, artifact.n_items(), artifact.dim(), DEFAULT_BUILD_SEED)
             }),
@@ -220,7 +271,21 @@ impl Engine {
                     imcat_obs::counter_add("ann.index.rebuilds", 1);
                 }
                 let state = AnnState::build(&artifact, ann_cfg);
-                state.index.add_to_checkpoint(&mut ck);
+                // Persist the fresh index back next to the artifact it was
+                // built from: under the committed generation's prefix when
+                // the container is generation-versioned, bare otherwise.
+                let mut staged = Checkpoint::new();
+                state.index.save_sections(&mut staged);
+                match ck.generation().ok().flatten() {
+                    Some(gen) => ck.stage_generation(gen, &staged),
+                    None => {
+                        let names: Vec<String> = staged.section_names().map(String::from).collect();
+                        for name in names {
+                            let bytes = staged.require(&name).expect("staged section").to_vec();
+                            ck.insert(&name, bytes);
+                        }
+                    }
+                }
                 if ck.save(&path).is_err() && imcat_obs::enabled() {
                     imcat_obs::counter_add("ann.index.persist_failed", 1);
                 }
@@ -233,9 +298,16 @@ impl Engine {
         Ok(engine)
     }
 
-    /// The live IVF index, when ANN retrieval is active.
+    /// The live IVF index, when ANN retrieval is active *and* backed by
+    /// IVF-Flat (`None` under [`imcat_ann::AnnKind::Brute`]).
     pub fn ann_index(&self) -> Option<&IvfIndex> {
-        self.ann.as_ref().map(|s| &s.index)
+        self.ann.as_ref().and_then(|s| s.index.as_ivf())
+    }
+
+    /// The live ANN backend behind the [`AnnIndex`] trait, whatever its
+    /// kind.
+    pub fn ann_backend(&self) -> Option<&dyn AnnIndex> {
+        self.ann.as_ref().map(|s| s.index.as_ref())
     }
 
     /// The artifact currently being served.
@@ -243,32 +315,287 @@ impl Engine {
         &self.artifact
     }
 
-    /// Swaps in a new artifact. The cache is cleared so no stale list from
-    /// the previous generation can ever be served, and the ANN index (if
-    /// active) is rebuilt over the new item embeddings before the swap; on a
-    /// validation error the old artifact, index, and cache all stay live.
-    pub fn reload(&mut self, artifact: Artifact) -> io::Result<()> {
-        artifact.validate()?;
-        self.ann = self.cfg.ann.map(|c| AnnState::build(&artifact, c));
-        self.artifact = artifact;
+    /// Monotonic generation counter: bumps on every swap — `reload`,
+    /// `set_ann`, `commit_rebuild`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The mutation log accumulated since this generation's base artifact,
+    /// in arrival order.
+    pub fn stream_log(&self) -> &[StreamEvent] {
+        &self.log
+    }
+
+    /// The fold-in options live ingestion uses (defaults read from the
+    /// `IMCAT_INGEST_FOLD_*` knobs at construction).
+    pub fn fold_options(&self) -> FoldOptions {
+        self.fold
+    }
+
+    /// Overrides the fold-in options. Affects folds from the next tick on;
+    /// already-frozen embeddings stay as they are (and the log keeps the
+    /// rebuild canonical under whatever options it is replayed with).
+    pub fn set_fold_options(&mut self, fold: FoldOptions) {
+        self.fold = fold;
+    }
+
+    /// Every mutation of the serving state funnels through here: new
+    /// artifact and/or ANN state in, cache out, generation bumped, one
+    /// counter per caller. Replacing the artifact resets the streaming
+    /// state — the incoming artifact *is* the next generation's base and
+    /// the old log is consumed (rebuild) or superseded (reload).
+    fn swap_generation(
+        &mut self,
+        artifact: Option<Artifact>,
+        ann: Option<AnnState>,
+        counter: &'static str,
+    ) -> io::Result<()> {
+        if let Some(artifact) = artifact {
+            artifact.validate()?;
+            self.frozen_items = artifact.n_items();
+            self.artifact = artifact;
+            self.base = None;
+            self.log.clear();
+        }
+        self.ann = ann;
         self.cache.clear();
+        self.generation += 1;
         if imcat_obs::enabled() {
-            imcat_obs::counter_add("serve.reloads", 1);
+            imcat_obs::counter_add(counter, 1);
+            imcat_obs::counter_add("serve.generation.swaps", 1);
         }
         Ok(())
     }
 
+    /// Swaps in a new artifact. The cache is cleared so no stale list from
+    /// the previous generation can ever be served, and the ANN index (if
+    /// active) is rebuilt over the new item embeddings before the swap; on a
+    /// validation error the old artifact, index, cache, and stream log all
+    /// stay live.
+    pub fn reload(&mut self, artifact: Artifact) -> io::Result<()> {
+        artifact.validate()?;
+        let ann = self.cfg.ann.map(|c| AnnState::build(&artifact, c));
+        self.swap_generation(Some(artifact), ann, "serve.reloads")
+    }
+
     /// Switches ANN retrieval on, off, or to a different configuration,
-    /// rebuilding the index as needed. The result cache is cleared exactly
-    /// like [`Engine::reload`] does: a list computed under the previous
-    /// retrieval configuration can never be served under the new one.
+    /// rebuilding the index as needed. Pending cold entities are folded
+    /// first so the fresh index covers exactly the finalized catalog; the
+    /// result cache is cleared exactly like [`Engine::reload`] does.
     pub fn set_ann(&mut self, ann: Option<AnnConfig>) {
+        self.fold_pending();
         self.cfg.ann = ann;
-        self.ann = ann.map(|c| AnnState::build(&self.artifact, c));
+        let state = ann.map(|c| AnnState::build(&self.artifact, c));
+        let _ = self.swap_generation(None, state, "serve.ann_swaps");
+    }
+
+    /// Clones the pristine artifact into `base` before the first mutation
+    /// of a generation, so the log replays over exactly what the generation
+    /// started from.
+    fn ensure_base(&mut self) {
+        if self.base.is_none() {
+            self.base = Some(self.artifact.clone());
+        }
+    }
+
+    /// Registers a cold user and returns their id (the next dense user id).
+    /// The new row is all-zero until a fold tick gives it evidence-backed
+    /// coordinates; recommendations for it fall back to brute force
+    /// meanwhile (cold-user fallback).
+    pub fn register_user(&mut self) -> u32 {
+        self.ensure_base();
+        let dim = self.artifact.dim();
+        let id = self.artifact.n_users() as u32;
+        self.artifact.user_emb = append_row(&self.artifact.user_emb, &vec![0.0; dim]);
+        self.artifact.masks.push(Vec::new());
+        self.log.push(StreamEvent::RegisterUser);
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ingest.users", 1);
+        }
+        id
+    }
+
+    /// Registers a cold item and returns its id (the next dense item id).
+    /// The item scores zero for everyone until its first fold tick freezes
+    /// an embedding and inserts it into the ANN index; the cache is cleared
+    /// because cached lists ranked a smaller catalog.
+    pub fn register_item(&mut self) -> u32 {
+        self.ensure_base();
+        let dim = self.artifact.dim();
+        let id = self.artifact.n_items() as u32;
+        self.artifact.item_emb = append_row(&self.artifact.item_emb, &vec![0.0; dim]);
+        self.log.push(StreamEvent::RegisterItem);
         self.cache.clear();
         if imcat_obs::enabled() {
-            imcat_obs::counter_add("serve.ann_swaps", 1);
+            imcat_obs::counter_add("ingest.items", 1);
         }
+        id
+    }
+
+    /// Ingests one interaction: validates both ids against the live ranges,
+    /// updates the user's mask immediately (the item disappears from their
+    /// recommendations *now*), appends the event to the log as fold-in
+    /// evidence, and invalidates only that user's cached lists. Embeddings
+    /// move at the next [`Engine::fold_pending`] tick, off the request path.
+    pub fn ingest(&mut self, x: Interaction) -> Result<(), ServeError> {
+        let n_users = self.artifact.n_users() as u32;
+        let n_items = self.artifact.n_items() as u32;
+        if x.user >= n_users {
+            OBS_REJECTS.add(1);
+            return Err(ServeError::UserOutOfRange { user: x.user, n_users });
+        }
+        if x.item >= n_items {
+            OBS_REJECTS.add(1);
+            return Err(ServeError::ItemOutOfRange { item: x.item, n_items });
+        }
+        self.ensure_base();
+        mask_insert(&mut self.artifact.masks[x.user as usize], x.item);
+        self.log.push(StreamEvent::Interaction(x));
+        self.cache.remove_user(x.user);
+        OBS_INGESTS.add(1);
+        Ok(())
+    }
+
+    /// Ingests a batch, one result per interaction in order; a rejected
+    /// interaction never aborts the rest of the batch.
+    pub fn ingest_batch(&mut self, xs: &[Interaction]) -> Vec<Result<(), ServeError>> {
+        xs.iter().map(|&x| self.ingest(x)).collect()
+    }
+
+    /// One fold tick: finalizes every registered-but-cold item (ridge
+    /// fold-in from its logged evidence, zero row if it has none), inserts
+    /// it into the ANN index, and refolds every post-base user from the
+    /// updated item matrix. Items fold **once** — their embeddings and int8
+    /// codes stay frozen until the next generation, which is what keeps the
+    /// certified-skip bound sound. Users refold every tick (they are not
+    /// indexed, so nothing goes stale). Returns the number of embeddings
+    /// written.
+    pub fn fold_pending(&mut self) -> usize {
+        let n_items = self.artifact.n_items();
+        if self.log.is_empty() && self.frozen_items == n_items {
+            return 0;
+        }
+        let _sp = imcat_obs::span("serve.fold.seconds");
+        let dim = self.artifact.dim();
+        let base_users =
+            self.base.as_ref().map(|b| b.n_users()).unwrap_or_else(|| self.artifact.n_users());
+        // Evidence per cold entity: opposite-side ids in log-arrival order,
+        // duplicates kept (a repeated interaction is weighted evidence) —
+        // the exact accumulation `rebuild_artifact` replays.
+        let mut item_users: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut user_items: HashMap<u32, Vec<u32>> = HashMap::new();
+        for ev in &self.log {
+            if let StreamEvent::Interaction(x) = *ev {
+                if (x.item as usize) >= self.frozen_items {
+                    item_users.entry(x.item).or_default().push(x.user);
+                }
+                if (x.user as usize) >= base_users {
+                    user_items.entry(x.user).or_default().push(x.item);
+                }
+            }
+        }
+        let mut folds = 0usize;
+        let items_changed = n_items > self.frozen_items;
+        for id in self.frozen_items..n_items {
+            let emb: Vec<f32> = match item_users.get(&(id as u32)) {
+                Some(users) => {
+                    let art = &self.artifact;
+                    let rows: Vec<&[f32]> =
+                        users.iter().map(|&u| art.user_emb.row(u as usize)).collect();
+                    folds += 1;
+                    fold_embedding(&rows, dim, &self.fold)
+                }
+                None => vec![0.0; dim],
+            };
+            self.artifact.item_emb.row_mut(id).copy_from_slice(&emb);
+            if let Some(state) = self.ann.as_mut() {
+                if state.index.insert(id as u32, &emb).is_err() && imcat_obs::enabled() {
+                    // A failed insert costs ANN recall for this item, never
+                    // correctness: probes simply cannot reach it until the
+                    // next full rebuild re-indexes the catalog.
+                    imcat_obs::counter_add("ingest.insert_failures", 1);
+                }
+            }
+        }
+        self.frozen_items = n_items;
+        let mut users: Vec<u32> = user_items.keys().copied().collect();
+        users.sort_unstable();
+        for u in users {
+            let emb = {
+                let art = &self.artifact;
+                let rows: Vec<&[f32]> =
+                    user_items[&u].iter().map(|&i| art.item_emb.row(i as usize)).collect();
+                fold_embedding(&rows, dim, &self.fold)
+            };
+            self.artifact.user_emb.row_mut(u as usize).copy_from_slice(&emb);
+            self.cache.remove_user(u);
+            folds += 1;
+        }
+        if items_changed {
+            self.cache.clear();
+        }
+        if imcat_obs::enabled() {
+            imcat_obs::counter_add("ingest.folds", folds as u64);
+        }
+        folds
+    }
+
+    /// Spawns a background full rebuild over a snapshot of this
+    /// generation's `(base, log)`. The worker replays the log through
+    /// [`crate::rebuild_artifact`], builds a fresh index, and — when
+    /// `persist` names a container — *stages* the next generation on disk
+    /// (atomic save, committed pointer untouched, crash-safe). The engine
+    /// keeps serving and ingesting; hand the task back to
+    /// [`Engine::commit_rebuild`] when [`RebuildTask::is_finished`].
+    pub fn spawn_rebuild(&self, persist: Option<PathBuf>) -> io::Result<RebuildTask> {
+        let base = self.base.clone().unwrap_or_else(|| self.artifact.clone());
+        rebuild::spawn(base, self.log.clone(), self.fold, self.cfg.ann, persist)
+    }
+
+    /// Joins a finished rebuild and swaps the new generation in: the
+    /// rebuilt artifact becomes the base, events ingested after the
+    /// snapshot are replayed onto it through the live mutation path, and —
+    /// when the worker staged the generation on disk — the committed
+    /// pointer is flipped with a second atomic save. In-memory swap happens
+    /// first: requests between the two steps already serve the new
+    /// generation, and a crash before the flip recovers to the old one.
+    pub fn commit_rebuild(&mut self, task: RebuildTask) -> io::Result<()> {
+        let out = task
+            .handle
+            .join()
+            .map_err(|_| io::Error::new(io::ErrorKind::Other, "rebuild worker panicked"))??;
+        let suffix: Vec<StreamEvent> =
+            self.log.get(task.snap_len..).map(<[_]>::to_vec).unwrap_or_default();
+        let ann = match (self.cfg.ann, out.index) {
+            (Some(cfg), Some(index)) => {
+                Some(AnnState { cfg, index, scratch: ProbeScratch::default() })
+            }
+            _ => None,
+        };
+        self.swap_generation(Some(out.artifact), ann, "serve.rebuild.commits")?;
+        // Replay the post-snapshot suffix through the normal live path: the
+        // events were valid when first ingested and the rebuilt artifact
+        // contains every registration the snapshot saw, so they stay valid.
+        for ev in suffix {
+            match ev {
+                StreamEvent::RegisterUser => {
+                    self.register_user();
+                }
+                StreamEvent::RegisterItem => {
+                    self.register_item();
+                }
+                StreamEvent::Interaction(x) => {
+                    let _ = self.ingest(x);
+                }
+            }
+        }
+        if let Some((path, gen)) = out.staged {
+            let mut ck = Checkpoint::load(&path)?;
+            ck.commit_generation(gen);
+            ck.save(&path)?;
+        }
+        Ok(())
     }
 
     /// Number of users the current artifact can serve.

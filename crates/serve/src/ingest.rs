@@ -1,0 +1,59 @@
+//! Streamed mutation events: the serve-time interaction log.
+//!
+//! Every mutation the engine accepts after its generation base —
+//! registering a cold user or item, appending one user→item interaction —
+//! is recorded as a [`StreamEvent`] in arrival order. The log is the
+//! *canonical* record of the generation's stream: the background rebuild
+//! ([`crate::rebuild::rebuild_artifact`]) is a pure function of
+//! `(base artifact, log)`, so replaying the log offline is bit-identical to
+//! the rebuild the live engine swaps in — the property the streaming tests
+//! assert at 1 and 4 threads.
+
+use imcat_tensor::Tensor;
+
+/// One streamed user→item interaction (the user consumed/clicked/rated the
+/// item at serve time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// User id (registered: either trained into the artifact or
+    /// [`crate::Engine::register_user`]ed).
+    pub user: u32,
+    /// Item id (in the live catalog).
+    pub item: u32,
+}
+
+/// One entry of the generation's mutation log, in arrival order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A cold user joined; their id is the user count at that point.
+    RegisterUser,
+    /// A cold item joined the catalog; its id is the item count at that
+    /// point.
+    RegisterItem,
+    /// One interaction was appended (mask update + fold-in evidence).
+    Interaction(Interaction),
+}
+
+/// Returns `t` with `row` appended (an `O(n·d)` copy — registration is rare
+/// relative to requests, and the tensor API is deliberately immutable in
+/// shape).
+pub(crate) fn append_row(t: &Tensor, row: &[f32]) -> Tensor {
+    let (n, d) = t.shape();
+    debug_assert_eq!(row.len(), d);
+    let mut v = Vec::with_capacity((n + 1) * d);
+    v.extend_from_slice(t.as_slice());
+    v.extend_from_slice(row);
+    Tensor::from_vec(n + 1, d, v)
+}
+
+/// Inserts `item` into a sorted, deduplicated mask. Returns whether the
+/// mask changed (false when the item was already present).
+pub(crate) fn mask_insert(mask: &mut Vec<u32>, item: u32) -> bool {
+    match mask.binary_search(&item) {
+        Ok(_) => false,
+        Err(pos) => {
+            mask.insert(pos, item);
+            true
+        }
+    }
+}

@@ -17,8 +17,17 @@
 //!   accounting.
 //! * **Batching** — a tick of concurrent requests costs one `matmul_nt`.
 //! * **ANN retrieval** — [`ServeConfig::ann`] fronts scoring with an
-//!   `imcat-ann` IVF probe (exact re-rank, brute-force fallback), turning
-//!   per-request cost sublinear in catalog size.
+//!   `imcat-ann` index behind the [`AnnIndex`] trait (exact re-rank,
+//!   brute-force fallback), turning per-request cost sublinear in catalog
+//!   size.
+//! * **Streaming ingestion** — [`Engine::ingest`] appends live
+//!   interactions, [`Engine::register_user`]/[`Engine::register_item`] add
+//!   cold entities, [`Engine::fold_pending`] folds them in (ridge
+//!   least-squares against the frozen opposite side) and extends the ANN
+//!   index incrementally, and [`Engine::spawn_rebuild`] /
+//!   [`Engine::commit_rebuild`] swap a full log-replay rebuild in
+//!   atomically — bit-identical to the same replay run offline
+//!   ([`rebuild_artifact`]).
 //! * **Telemetry** — request latency histograms (p50/p95/p99) and counters
 //!   flow through `imcat-obs`.
 
@@ -26,8 +35,14 @@
 
 mod cache;
 mod engine;
+mod foldin;
+mod ingest;
+mod rebuild;
 
 pub use cache::LruCache;
 pub use engine::{Engine, Recommendation, ServeConfig, ServeError, ServeStats};
-pub use imcat_ann::{AnnConfig, IvfIndex, ProbeScratch};
+pub use foldin::{fold_embedding, FoldOptions};
+pub use imcat_ann::{AnnConfig, AnnIndex, AnnKind, BruteIndex, IvfIndex, ProbeScratch};
 pub use imcat_ckpt::Artifact;
+pub use ingest::{Interaction, StreamEvent};
+pub use rebuild::{rebuild_artifact, RebuildTask};

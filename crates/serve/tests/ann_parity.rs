@@ -46,7 +46,7 @@ fn trained_bprmf(data: &SplitDataset) -> Bprmf {
 fn ann_cfg(nlist: usize, nprobe: usize) -> ServeConfig {
     ServeConfig {
         cache_capacity: 0,
-        ann: Some(AnnConfig { nlist, nprobe, quantized: false }),
+        ann: Some(AnnConfig { nlist, nprobe, quantized: false, ..AnnConfig::default() }),
         ..Default::default()
     }
 }
@@ -164,7 +164,7 @@ fn batch_matches_single_under_ann() {
     let mut batched = Engine::new(
         artifact.clone(),
         ServeConfig {
-            ann: Some(AnnConfig { nlist: 10, nprobe: 3, quantized: false }),
+            ann: Some(AnnConfig { nlist: 10, nprobe: 3, quantized: false, ..AnnConfig::default() }),
             ..Default::default()
         },
     )
@@ -196,7 +196,12 @@ fn set_ann_invalidates_cached_lists() {
     assert!(engine.cached_lists() > 0, "list should be cached");
 
     // Swap in a deliberately lossy config (probe 1 list of many).
-    engine.set_ann(Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false }));
+    engine.set_ann(Some(AnnConfig {
+        nlist: 16,
+        nprobe: 1,
+        quantized: false,
+        ..AnnConfig::default()
+    }));
     assert_eq!(engine.cached_lists(), 0, "set_ann must drop every cached list");
     let ann_list = engine.recommend(2, 10).unwrap();
     // Whatever it returns must be freshly computed under the new config: an
@@ -205,7 +210,7 @@ fn set_ann_invalidates_cached_lists() {
         engine.artifact().clone(),
         ServeConfig {
             cache_capacity: 0,
-            ann: Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false }),
+            ann: Some(AnnConfig { nlist: 16, nprobe: 1, quantized: false, ..AnnConfig::default() }),
             ..Default::default()
         },
     )
@@ -309,7 +314,7 @@ fn quantized_rerank_returns_exact_scores() {
         artifact,
         ServeConfig {
             cache_capacity: 0,
-            ann: Some(AnnConfig { nlist: 8, nprobe: 8, quantized: true }),
+            ann: Some(AnnConfig { nlist: 8, nprobe: 8, quantized: true, ..AnnConfig::default() }),
             ..Default::default()
         },
     )
@@ -363,7 +368,7 @@ fn certified_skip_is_taken_and_bit_identical_to_rerank() {
         artifact.clone(),
         ServeConfig {
             cache_capacity: 0,
-            ann: Some(AnnConfig { nlist: 6, nprobe: 6, quantized: true }),
+            ann: Some(AnnConfig { nlist: 6, nprobe: 6, quantized: true, ..AnnConfig::default() }),
             ..Default::default()
         },
     )

@@ -1,0 +1,267 @@
+//! Streaming ingestion contracts:
+//!
+//! * interleaved ingest/registration/fold traffic never perturbs an
+//!   untouched user's recommendations (bit-for-bit, ANN path included);
+//! * the background log-replay rebuild is byte-identical to the same
+//!   replay run offline — at 1 and 4 threads;
+//! * the two-save generation swap is crash-safe: a loader between the
+//!   stage and the commit sees the *old* generation, after the commit the
+//!   new one;
+//! * cold users fold into useful embeddings (their interacted items'
+//!   neighborhood ranks above the rest).
+
+use std::sync::{Mutex, OnceLock};
+
+use imcat_ckpt::Checkpoint;
+use imcat_data::{generate, SplitDataset, SynthConfig};
+use imcat_models::{Bprmf, RecModel, TrainConfig};
+use imcat_serve::{rebuild_artifact, AnnConfig, Artifact, Engine, Interaction, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_split(seed: u64) -> SplitDataset {
+    let synth = generate(&SynthConfig::tiny(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    synth.dataset.split((0.7, 0.1, 0.2), &mut rng)
+}
+
+/// The pool is process-global, so tests that reconfigure it must not overlap.
+fn pool_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    imcat_par::set_threads(threads);
+    let out = f();
+    imcat_par::set_threads(imcat_par::default_threads());
+    out
+}
+
+fn trained_artifact(seed: u64) -> Artifact {
+    let data = tiny_split(seed);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
+    for _ in 0..3 {
+        model.train_epoch(&mut rng);
+    }
+    model.export_artifact(&data).unwrap()
+}
+
+fn lists_bits(recs: &[imcat_serve::Recommendation]) -> Vec<(u32, u32)> {
+    recs.iter().map(|r| (r.item, r.score.to_bits())).collect()
+}
+
+/// Property: whatever traffic other users generate — interactions, new
+/// users joining and interacting, fold ticks — a user nobody touched gets
+/// bit-identical recommendations throughout the generation.
+#[test]
+fn untouched_users_survive_interleaved_ingest_bitwise() {
+    let _guard = pool_lock().lock().unwrap();
+    let artifact = trained_artifact(41);
+    let n_users = artifact.user_emb.rows() as u32;
+    let n_items = artifact.item_emb.rows() as u32;
+    let cfg = ServeConfig {
+        cache_capacity: 64,
+        ann: Some(AnnConfig { nlist: 8, nprobe: 4, ..AnnConfig::default() }),
+        ..Default::default()
+    };
+    let mut engine = Engine::new(artifact, cfg).unwrap();
+    // First quarter of the trained users are the untouched controls.
+    let controls: Vec<u32> = (0..n_users / 4).collect();
+    let touched_lo = n_users / 4;
+    let baseline: Vec<Vec<(u32, u32)>> =
+        controls.iter().map(|&u| lists_bits(&engine.recommend(u, 10).unwrap())).collect();
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for round in 0..30 {
+        match rng.gen_range(0..10u32) {
+            0 => {
+                let u = engine.register_user();
+                assert!(u >= n_users);
+            }
+            1..=2 => {
+                engine.fold_pending();
+            }
+            _ => {
+                let hi = engine.n_users() as u32;
+                let user = rng.gen_range(touched_lo..hi);
+                let item = rng.gen_range(0..n_items);
+                engine.ingest(Interaction { user, item }).unwrap();
+            }
+        }
+        if round % 5 == 4 {
+            for (i, &u) in controls.iter().enumerate() {
+                let now = lists_bits(&engine.recommend(u, 10).unwrap());
+                assert_eq!(now, baseline[i], "round {round}: untouched user {u} list changed");
+            }
+        }
+    }
+    engine.fold_pending();
+    for (i, &u) in controls.iter().enumerate() {
+        let now = lists_bits(&engine.recommend(u, 10).unwrap());
+        assert_eq!(now, baseline[i], "untouched user {u} list changed after final fold");
+    }
+}
+
+/// Drives one full streaming scenario against `engine` and returns the log
+/// it generated. Deterministic in `seed`.
+fn drive_stream(engine: &mut Engine, seed: u64) {
+    let base_items = engine.n_items() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..120 {
+        match rng.gen_range(0..12u32) {
+            0 => {
+                engine.register_user();
+            }
+            1 => {
+                engine.register_item();
+            }
+            2..=3 => {
+                engine.fold_pending();
+            }
+            _ => {
+                let user = rng.gen_range(0..engine.n_users() as u32);
+                let lo_bias = rng.gen_range(0..4u32);
+                // Bias toward the trained catalog so cold items also get
+                // evidence from warm users, but keep cold-cold pairs in.
+                let item = if lo_bias == 0 && engine.n_items() as u32 > base_items {
+                    rng.gen_range(base_items..engine.n_items() as u32)
+                } else {
+                    rng.gen_range(0..base_items)
+                };
+                engine.ingest(Interaction { user, item }).unwrap();
+            }
+        }
+        if step % 40 == 39 {
+            // Live traffic must keep flowing mid-stream.
+            let u = rng.gen_range(0..engine.n_users() as u32);
+            engine.recommend(u, 5).unwrap();
+        }
+    }
+}
+
+fn artifact_bytes(a: &Artifact) -> Vec<u8> {
+    a.to_checkpoint().to_bytes()
+}
+
+/// Acceptance criterion: replaying the stream log offline through
+/// `rebuild_artifact` produces a byte-identical artifact to the background
+/// rebuild the engine commits — at 1 and at 4 threads, and identical
+/// *across* the two thread counts.
+#[test]
+fn replay_rebuild_is_bit_identical_to_offline_build_at_1_and_4_threads() {
+    let _guard = pool_lock().lock().unwrap();
+    let run = |threads: usize| -> (Vec<u8>, Vec<u8>) {
+        with_threads(threads, || {
+            let artifact = trained_artifact(43);
+            let base = artifact.clone();
+            let cfg = ServeConfig {
+                cache_capacity: 16,
+                ann: Some(AnnConfig { nlist: 8, nprobe: 8, ..AnnConfig::default() }),
+                ..Default::default()
+            };
+            let mut engine = Engine::new(artifact, cfg).unwrap();
+            drive_stream(&mut engine, 0xabcd);
+            let log = engine.stream_log().to_vec();
+            let offline = rebuild_artifact(&base, &log, &engine.fold_options()).unwrap();
+            let task = engine.spawn_rebuild(None).unwrap();
+            let gen_before = engine.generation();
+            engine.commit_rebuild(task).unwrap();
+            assert!(engine.generation() > gen_before, "commit did not bump the generation");
+            assert!(engine.stream_log().is_empty(), "commit did not consume the log");
+            (artifact_bytes(engine.artifact()), artifact_bytes(&offline))
+        })
+    };
+    let (live_1, offline_1) = run(1);
+    assert_eq!(live_1, offline_1, "1 thread: rebuild != offline replay");
+    let (live_4, offline_4) = run(4);
+    assert_eq!(live_4, offline_4, "4 threads: rebuild != offline replay");
+    assert_eq!(live_1, live_4, "rebuild bytes differ across thread counts");
+}
+
+/// Crash-injection for the two-save generation swap: after the worker
+/// stages the next generation (save #1) but before the engine commits
+/// (save #2), a loader must recover the *old* generation, complete and
+/// consistent. After the commit it must see the new one. Requests keep
+/// succeeding throughout.
+#[test]
+fn generation_swap_is_crash_safe_between_stage_and_commit() {
+    let _guard = pool_lock().lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("imcat_stream_swap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.imck");
+    let artifact = trained_artifact(47);
+    artifact.save(&path).unwrap();
+    let cfg = ServeConfig {
+        cache_capacity: 16,
+        ann: Some(AnnConfig { nlist: 8, nprobe: 8, ..AnnConfig::default() }),
+        ..Default::default()
+    };
+    let mut engine = Engine::load(&path, cfg.clone()).unwrap();
+    let old_bytes = artifact_bytes(engine.artifact());
+    drive_stream(&mut engine, 0x1337);
+    let task = engine.spawn_rebuild(Some(path.clone())).unwrap();
+    // Serving continues while the worker runs.
+    while !task.is_finished() {
+        engine.recommend(0, 5).unwrap();
+    }
+    // Crash point: staged but not committed. A fresh load recovers the old
+    // generation bit-for-bit (the staged gen sections are simply ignored).
+    {
+        let recovered = Engine::load(&path, cfg.clone()).unwrap();
+        assert_eq!(
+            artifact_bytes(recovered.artifact()),
+            old_bytes,
+            "loader between stage and commit did not recover the old generation"
+        );
+    }
+    engine.commit_rebuild(task).unwrap();
+    let new_bytes = artifact_bytes(engine.artifact());
+    assert_ne!(new_bytes, old_bytes, "rebuild with a nonempty log should change the artifact");
+    // After the commit the pointer names the new generation.
+    {
+        let ck = Checkpoint::load(&path).unwrap();
+        let committed = ck.generation().unwrap();
+        assert!(committed.is_some(), "commit did not write a generation pointer");
+        let recovered = Engine::load(&path, cfg).unwrap();
+        assert_eq!(
+            artifact_bytes(recovered.artifact()),
+            new_bytes,
+            "loader after commit did not see the new generation"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cold user who interacts with a warm item neighborhood folds into an
+/// embedding that ranks that neighborhood's remaining items highly — and
+/// their own interacted items are masked out of their recommendations.
+#[test]
+fn cold_user_fold_in_reaches_their_neighborhood() {
+    let _guard = pool_lock().lock().unwrap();
+    let artifact = trained_artifact(53);
+    let cfg = ServeConfig { cache_capacity: 0, ..Default::default() };
+    let mut engine = Engine::new(artifact, cfg).unwrap();
+    // Pick the warm user with the most training items; the cold user mimics
+    // half their history.
+    let donor = (0..engine.n_users()).max_by_key(|&u| engine.artifact().masks[u].len()).unwrap();
+    let history: Vec<u32> = engine.artifact().masks[donor].clone();
+    assert!(history.len() >= 4, "synthetic data gave no usable donor");
+    let (seen, holdout) = history.split_at(history.len() / 2);
+    let cold = engine.register_user();
+    for &item in seen {
+        engine.ingest(Interaction { user: cold, item }).unwrap();
+    }
+    engine.fold_pending();
+    let emb: &[f32] = engine.artifact().user_emb.row(cold as usize);
+    assert!(emb.iter().any(|&x| x != 0.0), "fold-in left the cold user at zero");
+    let recs = engine.recommend(cold, 10).unwrap();
+    assert!(!recs.is_empty());
+    for r in &recs {
+        assert!(!seen.contains(&r.item), "recommended an item the cold user already consumed");
+    }
+    // Recall@10 against the donor's holdout must beat zero: the fold-in
+    // embedding points into the right neighborhood.
+    let hits = recs.iter().filter(|r| holdout.contains(&r.item)).count();
+    assert!(hits > 0, "cold-user fold-in found none of the donor's holdout items");
+}
