@@ -5,7 +5,8 @@
 //! share — probe, streamed insert, section persistence, staleness check —
 //! into [`AnnIndex`], selected by [`AnnConfig::kind`]: the engine holds a
 //! `Box<dyn AnnIndex>` and neither knows nor cares whether it is IVF-Flat,
-//! the trivial [`BruteIndex`] fallback, or (per the ROADMAP) a future HNSW.
+//! the trivial [`BruteIndex`] fallback, or the graph-based
+//! [`crate::hnsw::HnswIndex`].
 //! Construction and decode stay on [`AnnConfig`] ([`AnnConfig::build_index`]
 //! / [`AnnConfig::load_index`]) because they pick the concrete type.
 //!
@@ -37,6 +38,34 @@ pub enum AnnKind {
     /// score exact. The reference the approximate backends are verified
     /// against, and the fallback for catalogs too small to partition.
     Brute,
+    /// Hierarchical navigable small-world graph
+    /// ([`crate::hnsw::HnswIndex`]): greedy multi-layer graph descent with a
+    /// beam search at the base layer, then the same exact f32 re-rank as the
+    /// other backends. Wins the recall/QPS frontier at high recall targets.
+    Hnsw,
+}
+
+impl AnnKind {
+    /// Parses a backend name as used by `IMCAT_ANN_KIND` and bench flags
+    /// (`"ivf"`, `"brute"`, `"hnsw"`, case-insensitive). `None` for anything
+    /// else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "ivf" => Some(AnnKind::Ivf),
+            "brute" => Some(AnnKind::Brute),
+            "hnsw" => Some(AnnKind::Hnsw),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name [`AnnKind::parse`] accepts, for logs and `/stats`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnnKind::Ivf => "ivf",
+            AnnKind::Brute => "brute",
+            AnnKind::Hnsw => "hnsw",
+        }
+    }
 }
 
 /// One frozen-geometry retrieval index over a dense item catalog.
@@ -143,10 +172,10 @@ pub struct BruteIndex {
 }
 
 impl BruteIndex {
-    /// "Builds" the index: records the catalog shape.
+    /// "Builds" the index: records the catalog shape. An empty catalog is
+    /// fine — probes simply return an empty candidate set.
     pub fn build(items: &Tensor, seed: u64) -> Self {
         let (n_items, dim) = items.shape();
-        assert!(n_items > 0, "cannot index an empty catalog");
         Self { dim, n_items, seed }
     }
 
@@ -168,8 +197,8 @@ impl BruteIndex {
         let dim = d.u64()? as usize;
         let n_items = d.u64()? as usize;
         d.finish()?;
-        if dim == 0 || n_items == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty brute index"));
+        if dim == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-dim brute index"));
         }
         Ok(Some(Self { dim, n_items, seed }))
     }
@@ -266,6 +295,7 @@ impl AnnConfig {
         match self.kind {
             AnnKind::Ivf => Box::new(IvfIndex::build(items, self, seed)),
             AnnKind::Brute => Box::new(BruteIndex::build(items, seed)),
+            AnnKind::Hnsw => Box::new(crate::hnsw::HnswIndex::build(items, self, seed)),
         }
     }
 
@@ -280,6 +310,8 @@ impl AnnConfig {
             AnnKind::Brute => {
                 Ok(BruteIndex::from_checkpoint(ck)?.map(|i| Box::new(i) as Box<dyn AnnIndex>))
             }
+            AnnKind::Hnsw => Ok(crate::hnsw::HnswIndex::from_checkpoint(ck)?
+                .map(|i| Box::new(i) as Box<dyn AnnIndex>)),
         }
     }
 }

@@ -83,25 +83,40 @@ pub const DEFAULT_BUILD_SEED: u64 = 0x1517_ACE5;
 
 /// ANN retrieval configuration.
 ///
-/// `nlist` and `nprobe` of `0` mean "auto": `nlist` defaults to roughly
-/// `2·√n_items` (finer partitions than the classic `√n` rule, which at these
-/// catalog scales buys a better recall/latency frontier), and `nprobe` to
-/// `nlist / 8` — the knee of the measured recall/QPS frontier on the largest
-/// synthetic catalog (recall@10 ≈ 0.97 at ≈ 5× brute-force QPS; see
-/// EXPERIMENTS.md). Raise `nprobe` for recall, lower it for speed.
+/// Every numeric field at `0` means "auto". For IVF: `nlist` defaults to
+/// roughly `2·√n_items` (finer partitions than the classic `√n` rule, which
+/// at these catalog scales buys a better recall/latency frontier), and
+/// `nprobe` to `nlist / 8` — the knee of the measured recall/QPS frontier on
+/// the largest synthetic catalog (recall@10 ≈ 0.97 at ≈ 5× brute-force QPS;
+/// see EXPERIMENTS.md). Raise `nprobe` for recall, lower it for speed.
+///
+/// For HNSW ([`crate::index::AnnKind::Hnsw`]): `m` / `ef_construction` /
+/// `ef_search` at `0` first consult the `IMCAT_HNSW_M` / `IMCAT_HNSW_EFC` /
+/// `IMCAT_HNSW_EFS` knobs, then auto-tune from the catalog size (see the
+/// `resolved_*` methods). `ef_search` is query-time only — sweeping it
+/// reuses one graph, exactly like `nprobe` reuses one set of lists.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AnnConfig {
     /// Which concrete backend to build (IVF-Flat by default; see
     /// [`crate::index::AnnKind`]).
     pub kind: crate::index::AnnKind,
-    /// Number of inverted lists (0 = auto).
+    /// Number of inverted lists (0 = auto). IVF only.
     pub nlist: usize,
     /// Lists probed per query (0 = auto). Query-time only: sweeping `nprobe`
-    /// reuses one index.
+    /// reuses one index. IVF only.
     pub nprobe: usize,
     /// Store int8 scalar-quantized list codes and shortlist through them
-    /// before the exact f32 re-rank.
+    /// before the exact f32 re-rank. IVF only.
     pub quantized: bool,
+    /// HNSW max neighbors per node per level (level 0 holds `2·m`); 0 =
+    /// `IMCAT_HNSW_M`, then auto.
+    pub m: usize,
+    /// HNSW construction-time beam width; 0 = `IMCAT_HNSW_EFC`, then auto.
+    pub ef_construction: usize,
+    /// HNSW query-time beam width; 0 = `IMCAT_HNSW_EFS`, then auto. At
+    /// `ef_search >= n_items` the probe is exhaustive and bit-identical to
+    /// [`crate::index::BruteIndex`].
+    pub ef_search: usize,
 }
 
 impl AnnConfig {
@@ -122,6 +137,62 @@ impl AnnConfig {
         let nlist = self.resolved_nlist(n_items);
         let raw = if self.nprobe > 0 { self.nprobe } else { (nlist / 8).max(1) };
         raw.clamp(1, nlist)
+    }
+
+    /// The HNSW degree bound this configuration resolves to: the explicit
+    /// field, else the `IMCAT_HNSW_M` knob, else auto (8 below ~1k items,
+    /// 16 above — small catalogs don't earn dense graphs), clamped to
+    /// `[2, 128]`.
+    pub fn resolved_m(&self, n_items: usize) -> usize {
+        let mut raw = self.m;
+        if raw == 0 {
+            raw = imcat_obs::knobs::knob_usize("IMCAT_HNSW_M", 0);
+        }
+        if raw == 0 {
+            raw = if n_items < 1024 { 8 } else { 16 };
+        }
+        raw.clamp(2, 128)
+    }
+
+    /// The HNSW construction beam this configuration resolves to: the
+    /// explicit field, else the `IMCAT_HNSW_EFC` knob, else `8·m` (at the
+    /// auto `m = 16` that is the conventional 128), never below `m`.
+    pub fn resolved_ef_construction(&self, n_items: usize) -> usize {
+        let mut raw = self.ef_construction;
+        if raw == 0 {
+            raw = imcat_obs::knobs::knob_usize("IMCAT_HNSW_EFC", 0);
+        }
+        if raw == 0 {
+            raw = 8 * self.resolved_m(n_items);
+        }
+        raw.max(self.resolved_m(n_items))
+    }
+
+    /// The HNSW search beam this configuration resolves to: the explicit
+    /// field, else the `IMCAT_HNSW_EFS` knob, else `√n_items` clamped to
+    /// `[48, 128]` — wide enough for recall@10 ≥ 0.95 on the measured
+    /// frontier, far below the `nlist/8`-of-the-catalog an IVF probe scans.
+    /// Values at or above `n_items` make the probe exhaustive (brute-force
+    /// bit-identity), so tiny catalogs resolve to exact search.
+    pub fn resolved_ef_search(&self, n_items: usize) -> usize {
+        let mut raw = self.ef_search;
+        if raw == 0 {
+            raw = imcat_obs::knobs::knob_usize("IMCAT_HNSW_EFS", 0);
+        }
+        if raw == 0 {
+            raw = ((n_items.max(1) as f64).sqrt().round() as usize).clamp(48, 128);
+        }
+        raw.max(1)
+    }
+
+    /// The probe width the serving engine should pass to
+    /// [`crate::index::AnnIndex::probe`] for this configuration's kind:
+    /// `nprobe` for the list-based backends, `ef_search` for the graph.
+    pub fn resolved_probe_width(&self, n_items: usize) -> usize {
+        match self.kind {
+            crate::index::AnnKind::Hnsw => self.resolved_ef_search(n_items),
+            _ => self.resolved_nprobe(n_items),
+        }
     }
 }
 
@@ -146,6 +217,9 @@ pub struct ProbeScratch {
     /// Whether the last probe certified its top-K from int8 scores and
     /// skipped the shortlist re-rank.
     certified: bool,
+    /// Graph-traversal state for [`crate::hnsw::HnswIndex`] probes (visited
+    /// stamps, frontier heaps); unused by the list-based backends.
+    pub(crate) graph: crate::hnsw::GraphSearch,
 }
 
 impl ProbeScratch {
@@ -192,6 +266,43 @@ impl ProbeScratch {
         self.mask.clear();
         self.mask.extend_from_slice(mask);
     }
+
+    /// Fills the scratch from an explicit candidate id set (any order,
+    /// duplicate-free): ids are sorted ascending into the compact index
+    /// space, exact-scored with the same pooled `imcat_simd::dot` fan-out
+    /// the other paths use, and the caller's `mask` is remapped to compact
+    /// candidate indices. The back half of a graph probe.
+    pub(crate) fn set_candidates(
+        &mut self,
+        ids: &[u32],
+        query: &[f32],
+        items: &Tensor,
+        mask: &[u32],
+    ) {
+        self.certified = false;
+        self.cand.clear();
+        self.cand.extend_from_slice(ids);
+        self.cand.sort_unstable();
+        self.scores.clear();
+        self.scores.resize(self.cand.len(), 0.0);
+        let cand = &self.cand;
+        imcat_par::global().parallel_chunks_mut(&mut self.scores, SCORE_GRAIN, |ci, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let id = cand[ci * SCORE_GRAIN + off] as usize;
+                *slot = imcat_simd::dot(query, items.row(id));
+            }
+        });
+        self.mask.clear();
+        let mut m = 0usize;
+        for (ci, &id) in self.cand.iter().enumerate() {
+            while m < mask.len() && mask[m] < id {
+                m += 1;
+            }
+            if m < mask.len() && mask[m] == id {
+                self.mask.push(ci as u32);
+            }
+        }
+    }
 }
 
 /// An IVF-Flat index over one frozen item-embedding matrix.
@@ -232,7 +343,28 @@ impl IvfIndex {
     pub fn build(items: &Tensor, cfg: &AnnConfig, seed: u64) -> Self {
         let sp = imcat_obs::span("ann.build.seconds");
         let (n_items, dim) = items.shape();
-        assert!(n_items > 0, "cannot index an empty catalog");
+        if n_items == 0 {
+            // Degenerate catalog: a single zero centroid with an empty list,
+            // so probes produce an empty candidate set instead of panicking.
+            // Streamed inserts still work (everything lands in list 0).
+            drop(sp);
+            if imcat_obs::enabled() {
+                imcat_obs::counter_add("ann.builds", 1);
+            }
+            return Self {
+                dim,
+                n_items: 0,
+                seed,
+                quantized: cfg.quantized,
+                phi2: 0.0,
+                centroids: Tensor::zeros(1, dim + 1),
+                offsets: vec![0, 0],
+                entries: Vec::new(),
+                codes: Vec::new(),
+                scales: Vec::new(),
+                bounds: Vec::new(),
+            };
+        }
         let nlist = cfg.resolved_nlist(n_items);
         // MIPS-to-L2 augmentation: [x, sqrt(Φ² − ‖x‖²)] equalizes norms so
         // L2 k-means clusters by inner-product relevance, not just

@@ -1,6 +1,6 @@
 //! `imcat-ann`: sublinear top-K retrieval for the serving path.
 //!
-//! Two pieces live here:
+//! Four pieces live here:
 //!
 //! * [`kmeans`] — the workspace's single, shared, deterministic Lloyd
 //!   k-means. IMCAT's Intent Representation Module seeds its learnable
@@ -19,8 +19,14 @@
 //!   **exact** f32 dot products, so any error is pure recall loss — returned
 //!   scores and orderings are always the brute-force ones, and with
 //!   `nprobe == nlist` the whole result is bit-identical to brute force.
+//! * [`hnsw`] — a hierarchical navigable small-world graph over the same
+//!   frozen matrix: greedy multi-layer descent plus an `ef_search`-wide
+//!   base-layer beam, the same MIPS→L2 geometry and exact f32 re-rank, and
+//!   live streamed inserts through the build's own link path. Wins the
+//!   recall/QPS frontier over IVF at high recall targets; at
+//!   `ef_search >= n_items` it is bit-identical to brute force.
 //!
-//! The index serializes into `ann.*` named sections of an `imcat-ckpt`
+//! Every index serializes into `ann.*` named sections of an `imcat-ckpt`
 //! container (living alongside the serving `Artifact` sections in the same
 //! file), and `imcat-serve` consumes it behind `AnnConfig` with brute-force
 //! fallback. See the README "ANN retrieval" section for the operational
@@ -29,10 +35,12 @@
 
 #![warn(missing_docs)]
 
+pub mod hnsw;
 pub mod index;
 pub mod ivf;
 pub mod kmeans;
 
+pub use hnsw::HnswIndex;
 pub use index::{AnnIndex, AnnKind, BruteIndex};
 pub use ivf::{AnnConfig, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
 pub use kmeans::{assign_nearest, kmeans_centers};

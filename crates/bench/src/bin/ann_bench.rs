@@ -1,26 +1,36 @@
-//! ANN frontier benchmark: recall@{10,50} versus QPS for IVF retrieval,
-//! swept over `nprobe`, next to the brute-force baseline.
+//! ANN frontier benchmark: recall@{10,50} versus QPS for IVF retrieval
+//! (swept over `nprobe`) and HNSW retrieval (swept over `ef_search`), next
+//! to the brute-force baseline — the combined brute-vs-IVF-vs-HNSW
+//! recall/QPS frontier.
 //!
 //! The binary trains BPR-MF on the largest synthetic catalog
 //! (`SynthConfig::citeulike`, scaled by `IMCAT_SCALE`) with best-epoch
 //! artifact export, computes the exact brute-force top-50 for every user as
 //! ground truth, then replays a pre-drawn Zipf request stream through
-//! `imcat-serve` engines: one brute-force baseline and one IVF engine per
-//! swept `nprobe` (plus one int8-quantized run at the default probe width).
-//! Every engine serves with the result cache off so the table measures
-//! retrieval, not caching.
+//! `imcat-serve` engines: one brute-force baseline, one IVF engine per
+//! swept `nprobe` (plus one int8-quantized run at the default probe width),
+//! and one HNSW engine per swept `ef_search`. Every engine serves with the
+//! result cache off so the table measures retrieval, not caching. The
+//! persisted index sections are reused across a sweep (probe width is a
+//! query-time knob), so each backend builds exactly once.
 //!
-//! Because the IVF path re-ranks candidates with exact f32 dot products,
-//! recall is the *only* quality axis — returned scores and orderings are
-//! always brute-force-correct. Each frontier row reports the scanned
-//! candidate fraction, recall@10/@50 against the exact top-K, QPS, and the
-//! speedup over brute force; rows are also emitted as `ann_frontier`
-//! telemetry events (consumed by the `ann-smoke` CI job) and the measured
-//! default-probe recall lands in the `ann.recall_at10` /
-//! `ann.recall_at50` gauges. The quantized row additionally reports the
-//! certified-skip rate of the error-bounded int8 path and cross-checks the
-//! skip-enabled probe against the forced re-rank per user (the
-//! `skip_mismatches` count, gated to zero by the `kernel-smoke` CI job).
+//! Because both approximate paths re-rank candidates with exact f32 dot
+//! products, recall is the *only* quality axis — returned scores and
+//! orderings are always brute-force-correct. The HNSW rows additionally
+//! prove it: `score_mismatches` counts users whose probe candidate scores
+//! differ *bitwise* from the exact dot product (gated to zero by the
+//! `ann-smoke` CI job). Each frontier row reports the scanned candidate
+//! fraction, recall@10/@50 against the exact top-K, QPS, and the speedup
+//! over brute force; rows are also emitted as `ann_frontier` telemetry
+//! events (consumed by the `ann-smoke` CI job), written to
+//! `ann_frontier.json` next to the `ann_bench.json` report, and the
+//! measured default-probe recalls land in the `ann.recall_at10` /
+//! `ann.recall_at50` (IVF) and `ann.hnsw.recall_at10` /
+//! `ann.hnsw.recall_at50` (HNSW) gauges. The quantized row additionally
+//! reports the certified-skip rate of the error-bounded int8 path and
+//! cross-checks the skip-enabled probe against the forced re-rank per user
+//! (the `skip_mismatches` count, gated to zero by the `kernel-smoke` CI
+//! job).
 //!
 //! Environment knobs:
 //!
@@ -38,7 +48,7 @@ use imcat_bench::ModelKind;
 use imcat_bench::{logln, obs_finish, obs_init, write_json, Env, ExpLog};
 use imcat_core::train;
 use imcat_data::{generate, SplitDataset, SynthConfig};
-use imcat_serve::{AnnConfig, Engine, ProbeScratch, ServeConfig};
+use imcat_serve::{AnnConfig, AnnKind, Engine, ProbeScratch, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,6 +85,7 @@ struct Row {
     mode: String,
     nprobe: usize,
     nlist: usize,
+    ef_search: usize,
     frac_scanned: f64,
     recall_at10: f64,
     recall_at50: f64,
@@ -84,12 +95,14 @@ struct Row {
     is_default: bool,
     skip_rate: f64,
     skip_mismatches: usize,
+    score_mismatches: usize,
 }
 
 imcat_obs::impl_to_json!(Row {
     mode,
     nprobe,
     nlist,
+    ef_search,
     frac_scanned,
     recall_at10,
     recall_at50,
@@ -98,8 +111,36 @@ imcat_obs::impl_to_json!(Row {
     mean_us,
     is_default,
     skip_rate,
-    skip_mismatches
+    skip_mismatches,
+    score_mismatches
 });
+
+/// Emits one frontier row as an `ann_frontier` telemetry event (consumed
+/// by the `ann-smoke` CI gate).
+fn emit_frontier(row: &Row) {
+    if !imcat_obs::enabled() {
+        return;
+    }
+    use imcat_obs::Json;
+    imcat_obs::emit(
+        "ann_frontier",
+        vec![
+            ("mode", Json::Str(row.mode.clone())),
+            ("nprobe", Json::Num(row.nprobe as f64)),
+            ("nlist", Json::Num(row.nlist as f64)),
+            ("ef_search", Json::Num(row.ef_search as f64)),
+            ("frac_scanned", Json::Num(row.frac_scanned)),
+            ("recall_at10", Json::Num(row.recall_at10)),
+            ("recall_at50", Json::Num(row.recall_at50)),
+            ("qps", Json::Num(row.qps)),
+            ("speedup", Json::Num(row.speedup)),
+            ("is_default", Json::Bool(row.is_default)),
+            ("skip_rate", Json::Num(row.skip_rate)),
+            ("skip_mismatches", Json::Num(row.skip_mismatches as f64)),
+            ("score_mismatches", Json::Num(row.score_mismatches as f64)),
+        ],
+    );
+}
 
 /// Replays the stream uncached and returns (qps, mean latency in µs).
 fn replay(engine: &mut Engine, stream: &[(u32, usize)]) -> (f64, f64) {
@@ -186,6 +227,47 @@ fn skip_stats(engine: &Engine, nprobe: usize, k: usize) -> (f64, usize) {
     (skips as f64 / n_users.max(1) as f64, mismatches)
 }
 
+/// Mean fraction of the catalog surfaced as candidates per probe through
+/// the kind-agnostic [`imcat_serve::AnnIndex`] trait (direct probes,
+/// mask-free — the candidate pool before selection). The graph analogue of
+/// `scan_fraction` for backends without a forced re-rank entry point.
+fn candidate_fraction(engine: &Engine, width: usize) -> f64 {
+    let idx = engine.ann_backend().expect("ann engine");
+    let art = engine.artifact();
+    let items = &art.item_emb;
+    let mut scratch = ProbeScratch::default();
+    let mut total = 0usize;
+    for u in 0..art.user_emb.rows() {
+        idx.probe(art.user_emb.row(u), items, &[], 10, width, &mut scratch);
+        total += scratch.candidates().len();
+    }
+    total as f64 / (art.user_emb.rows() * items.rows()) as f64
+}
+
+/// Counts users whose probe candidate scores differ **bitwise** from the
+/// exact f32 dot product of their embedding with the candidate item — the
+/// acceptance evidence behind the "exact re-rank, recall is the only
+/// quality axis" claim for graph retrieval, gated to zero by the
+/// `ann-smoke` CI job. Probes run with each user's real training mask at
+/// the serving width, i.e. the exact operating point of the replay.
+fn exact_score_mismatches(engine: &Engine, width: usize, k: usize) -> usize {
+    let idx = engine.ann_backend().expect("ann engine");
+    let art = engine.artifact();
+    let items = &art.item_emb;
+    let mut scratch = ProbeScratch::default();
+    let mut bad_users = 0usize;
+    for u in 0..art.user_emb.rows() {
+        let q = art.user_emb.row(u);
+        idx.probe(q, items, &art.masks[u], k, width, &mut scratch);
+        let mismatch =
+            scratch.candidates().iter().zip(scratch.scores()).any(|(&id, &s)| {
+                s.to_bits() != imcat_simd::dot(q, items.row(id as usize)).to_bits()
+            });
+        bad_users += mismatch as usize;
+    }
+    bad_users
+}
+
 fn main() {
     obs_init(true);
     let mut log = ExpLog::new("ann_bench");
@@ -267,6 +349,7 @@ fn main() {
         mode: "brute".into(),
         nprobe: 0,
         nlist: 0,
+        ef_search: 0,
         frac_scanned: 1.0,
         recall_at10: 1.0,
         recall_at50: 1.0,
@@ -276,7 +359,9 @@ fn main() {
         is_default: false,
         skip_rate: 0.0,
         skip_mismatches: 0,
+        score_mismatches: 0,
     }];
+    emit_frontier(&rows[0]);
     logln!(
         log,
         "{:<7} {:>6} {:>6} {:>7} {:>8} {:>8} {:>9} {:>8}",
@@ -335,6 +420,7 @@ fn main() {
             mode: if quantized { "ivf-q8".into() } else { "ivf".into() },
             nprobe,
             nlist,
+            ef_search: 0,
             frac_scanned: frac,
             recall_at10: r10,
             recall_at50: r50,
@@ -344,6 +430,7 @@ fn main() {
             is_default,
             skip_rate,
             skip_mismatches,
+            score_mismatches: 0,
         };
         logln!(
             log,
@@ -366,24 +453,8 @@ fn main() {
                 row.skip_mismatches
             );
         }
+        emit_frontier(&row);
         if imcat_obs::enabled() {
-            use imcat_obs::Json;
-            imcat_obs::emit(
-                "ann_frontier",
-                vec![
-                    ("mode", Json::Str(row.mode.clone())),
-                    ("nprobe", Json::Num(row.nprobe as f64)),
-                    ("nlist", Json::Num(row.nlist as f64)),
-                    ("frac_scanned", Json::Num(row.frac_scanned)),
-                    ("recall_at10", Json::Num(row.recall_at10)),
-                    ("recall_at50", Json::Num(row.recall_at50)),
-                    ("qps", Json::Num(row.qps)),
-                    ("speedup", Json::Num(row.speedup)),
-                    ("is_default", Json::Bool(row.is_default)),
-                    ("skip_rate", Json::Num(row.skip_rate)),
-                    ("skip_mismatches", Json::Num(row.skip_mismatches as f64)),
-                ],
-            );
             if is_default {
                 imcat_obs::gauge_set("ann.recall_at10", row.recall_at10);
                 imcat_obs::gauge_set("ann.recall_at50", row.recall_at50);
@@ -396,6 +467,94 @@ fn main() {
         rows.push(row);
     }
 
+    // HNSW: sweep `ef_search` over powers of two (capped below the catalog,
+    // where the probe degenerates to brute force) plus the resolved
+    // default. The graph is built once — probe width is a query-time knob,
+    // so every subsequent load reuses the persisted `ann.hnsw.*` sections.
+    let hnsw_base = AnnConfig { kind: AnnKind::Hnsw, ..AnnConfig::default() };
+    let default_efs = hnsw_base.resolved_ef_search(data.n_items());
+    let hnsw_m = hnsw_base.resolved_m(data.n_items());
+    let hnsw_efc = hnsw_base.resolved_ef_construction(data.n_items());
+    let mut efs_sweep: Vec<usize> = Vec::new();
+    let mut e = 16usize;
+    while e < data.n_items() && e <= 1024 {
+        efs_sweep.push(e);
+        e *= 2;
+    }
+    if !efs_sweep.contains(&default_efs) {
+        efs_sweep.push(default_efs);
+        efs_sweep.sort_unstable();
+    }
+    logln!(log, "hnsw: m={hnsw_m} ef_construction={hnsw_efc} default ef_search={default_efs}");
+    logln!(
+        log,
+        "{:<7} {:>6} {:>6} {:>7} {:>8} {:>8} {:>9} {:>8}",
+        "mode",
+        "m",
+        "ef",
+        "cand%",
+        "R@10",
+        "R@50",
+        "qps",
+        "speedup"
+    );
+    for ef in efs_sweep {
+        let cfg = |ef| ServeConfig {
+            ann: Some(AnnConfig { kind: AnnKind::Hnsw, ef_search: ef, ..AnnConfig::default() }),
+            ..uncached.clone()
+        };
+        let mut engine = Engine::load(&artifact_path, cfg(ef)).expect("artifact must load");
+        let frac = candidate_fraction(&engine, ef);
+        let mismatches = exact_score_mismatches(&engine, ef, k);
+        let r10 = recall_at(&mut engine, &truth, 10);
+        let r50 = recall_at(&mut engine, &truth, 50);
+        // Fresh engine for timing so recall probing doesn't pollute stats.
+        let mut timed = Engine::load(&artifact_path, cfg(ef)).expect("artifact must load");
+        let (qps, mean_us) = replay(&mut timed, &stream);
+        let is_default = ef == default_efs;
+        let row = Row {
+            mode: "hnsw".into(),
+            nprobe: 0,
+            nlist: 0,
+            ef_search: ef,
+            frac_scanned: frac,
+            recall_at10: r10,
+            recall_at50: r50,
+            qps,
+            speedup: qps / brute_qps.max(1e-9),
+            mean_us,
+            is_default,
+            skip_rate: 0.0,
+            skip_mismatches: 0,
+            score_mismatches: mismatches,
+        };
+        logln!(
+            log,
+            "{:<7} {:>6} {:>6} {:>7.1} {:>8.4} {:>8.4} {:>9.0} {:>8.2}{}",
+            row.mode,
+            hnsw_m,
+            row.ef_search,
+            row.frac_scanned * 100.0,
+            row.recall_at10,
+            row.recall_at50,
+            row.qps,
+            row.speedup,
+            if is_default { "  <- default" } else { "" }
+        );
+        if row.score_mismatches > 0 {
+            logln!(log, "hnsw ef={ef}: {} users with inexact probe scores", row.score_mismatches);
+        }
+        emit_frontier(&row);
+        if imcat_obs::enabled() && is_default {
+            imcat_obs::gauge_set("ann.hnsw.recall_at10", row.recall_at10);
+            imcat_obs::gauge_set("ann.hnsw.recall_at50", row.recall_at50);
+            imcat_obs::gauge_set("ann.hnsw.default_speedup", row.speedup);
+        }
+        rows.push(row);
+    }
+
+    let frontier = write_json("ann_frontier", &rows);
+    logln!(log, "frontier written to {}", frontier.display());
     let path = write_json("ann_bench", &rows);
     logln!(log, "report written to {}", path.display());
     obs_finish();

@@ -36,10 +36,10 @@ use std::time::Instant;
 
 use imcat_bench::ModelKind;
 use imcat_bench::{logln, obs_finish, obs_init, write_json, Env, ExpLog};
-use imcat_core::config::knobs::{knob_f64, knob_usize};
+use imcat_core::config::knobs::{knob_f64, knob_str, knob_usize};
 use imcat_core::train;
 use imcat_data::{generate, SplitDataset, SynthConfig};
-use imcat_serve::{AnnConfig, Engine, Interaction, ServeConfig};
+use imcat_serve::{AnnConfig, AnnKind, Engine, Interaction, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,6 +66,7 @@ fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> u32 {
 }
 
 struct Row {
+    ann_kind: String,
     requests: usize,
     failed_requests: usize,
     qps: f64,
@@ -82,6 +83,7 @@ struct Row {
 }
 
 imcat_obs::impl_to_json!(Row {
+    ann_kind,
     requests,
     failed_requests,
     qps,
@@ -144,8 +146,18 @@ fn main() {
         report.best_val_recall
     );
 
-    let cfg =
-        ServeConfig { cache_capacity: 256, ann: Some(AnnConfig::default()), ..Default::default() };
+    // IMCAT_ANN_KIND selects the live index backend (ivf, brute, or hnsw)
+    // so the same streaming run — live inserts, mid-traffic rebuild swap —
+    // exercises whichever retrieval path is under test.
+    let ann_kind = knob_str("IMCAT_ANN_KIND")
+        .map(|v| AnnKind::parse(&v).unwrap_or_else(|| panic!("unknown IMCAT_ANN_KIND: {v}")))
+        .unwrap_or(AnnKind::Ivf);
+    logln!(log, "ann backend: {}", ann_kind.name());
+    let cfg = ServeConfig {
+        cache_capacity: 256,
+        ann: Some(AnnConfig { kind: ann_kind, ..AnnConfig::default() }),
+        ..Default::default()
+    };
     let mut engine = Engine::load(&artifact_path, cfg).expect("artifact must load");
     let n_warm = engine.n_users();
 
@@ -269,6 +281,7 @@ fn main() {
     let hit_fraction = with_hit as f64 / scripts.len().max(1) as f64;
 
     let row = Row {
+        ann_kind: ann_kind.name().into(),
         requests: served,
         failed_requests: failed,
         qps: served as f64 / wall.max(1e-9),
@@ -313,6 +326,7 @@ fn main() {
         imcat_obs::emit(
             "stream_bench",
             vec![
+                ("ann_kind", Json::Str(row.ann_kind.clone())),
                 ("qps", Json::Num(row.qps)),
                 ("ingest_per_sec", Json::Num(row.ingest_per_sec)),
                 ("failed_requests", Json::Num(row.failed_requests as f64)),

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use imcat_ckpt::Artifact;
 use imcat_obs::Json;
-use imcat_serve::{Interaction, Recommendation, ServeConfig, ServeError};
+use imcat_serve::{AnnDescriptor, Interaction, Recommendation, ServeConfig, ServeError};
 
 use crate::http::{self, Conn, Request, JSON, TEXT};
 use crate::shard::ShardedEngine;
@@ -273,6 +273,11 @@ struct Shared {
     n_users: AtomicU64,
     n_items: AtomicU64,
     shutdown: AtomicBool,
+    /// Per-shard ANN backend descriptors captured at startup (`None` slot =
+    /// that replica serves brute force without an index). Resolved build
+    /// parameters are frozen per generation, so a startup snapshot is the
+    /// live truth; only `n_items` can drift as cold items stream in.
+    ann: Vec<Option<AnnDescriptor>>,
     requests: AtomicU64,
     answered: AtomicU64,
     shed: AtomicU64,
@@ -307,6 +312,7 @@ impl Server {
             n_users: AtomicU64::new(engine.n_users() as u64),
             n_items: AtomicU64::new(engine.n_items() as u64),
             shutdown: AtomicBool::new(false),
+            ann: engine.ann_descriptors(),
             requests: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -463,10 +469,42 @@ fn serve_one(
                     .map(|(key, value)| (key, Json::Str(value)))
                     .collect(),
             );
+            // One entry per shard: which ANN backend is live and the build
+            // parameters it resolved to (`null` = brute force, no index).
+            let ann = Json::Arr(
+                shared
+                    .ann
+                    .iter()
+                    .map(|d| match d {
+                        None => Json::Null,
+                        Some(d) => {
+                            let mut fields = vec![
+                                ("kind", Json::Str(d.kind.into())),
+                                ("n_items", Json::Num(d.n_items as f64)),
+                            ];
+                            match d.kind {
+                                "ivf" => fields.extend([
+                                    ("nlist", Json::Num(d.nlist as f64)),
+                                    ("nprobe", Json::Num(d.nprobe as f64)),
+                                    ("quantized", Json::Bool(d.quantized)),
+                                ]),
+                                "hnsw" => fields.extend([
+                                    ("m", Json::Num(d.m as f64)),
+                                    ("ef_construction", Json::Num(d.ef_construction as f64)),
+                                    ("ef_search", Json::Num(d.ef_search as f64)),
+                                ]),
+                                _ => {}
+                            }
+                            Json::obj(fields)
+                        }
+                    })
+                    .collect(),
+            );
             let body = Json::obj(vec![
                 ("shards", Json::Num(shared.cfg.shards as f64)),
                 ("workers", Json::Num(shared.cfg.workers as f64)),
                 ("queue", Json::Num(shared.cfg.queue as f64)),
+                ("ann", ann),
                 ("n_users", Json::Num(shared.n_users.load(Ordering::Relaxed) as f64)),
                 ("n_items", Json::Num(shared.n_items.load(Ordering::Relaxed) as f64)),
                 ("requests", Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),

@@ -13,9 +13,10 @@
 //! the unsharded answer exactly — same items, same order, same score bits —
 //! at any shard count and any `IMCAT_THREADS` setting.
 //!
-//! With ANN enabled, each replica builds IVF lists over its own item slice.
-//! Exactness then carries whatever recall contract the per-shard probes
-//! have: at `nprobe == nlist` (exhaustive probe) the guarantee above holds
+//! With ANN enabled, each replica builds its configured index (IVF lists or
+//! an HNSW graph) over its own item slice. Exactness then carries whatever
+//! recall contract the per-shard probes have: at exhaustive probe settings
+//! (`nprobe == nlist`, `ef_search == n`) the guarantee above holds
 //! bit-exactly; at lossy probe settings the union is still re-ranked with
 //! exact scores, so any deviation is pure recall loss, never a wrong score.
 
@@ -23,7 +24,9 @@ use std::io;
 
 use imcat_ckpt::Artifact;
 use imcat_eval::{top_n_masked_with, TopKScratch};
-use imcat_serve::{Engine, Interaction, Recommendation, ServeConfig, ServeError, ServeStats};
+use imcat_serve::{
+    AnnDescriptor, Engine, Interaction, Recommendation, ServeConfig, ServeError, ServeStats,
+};
 use imcat_tensor::Tensor;
 
 /// Splits `n_items` into `n_shards` contiguous, near-equal `[lo, hi)`
@@ -79,8 +82,8 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Builds `n_shards` replicas over `artifact`. Every replica gets the
-    /// shared `cfg` (cache, ANN); with ANN active each replica builds IVF
-    /// lists over its own item slice.
+    /// shared `cfg` (cache, ANN); with ANN active each replica builds its
+    /// configured index over its own item slice.
     pub fn new(artifact: &Artifact, cfg: &ServeConfig, n_shards: usize) -> io::Result<Self> {
         let n_items = artifact.n_items();
         if n_shards == 0 || n_shards > n_items {
@@ -124,6 +127,14 @@ impl ShardedEngine {
     /// Per-replica serving statistics, in shard order.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.shards.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// Per-replica ANN backend descriptors, in shard order (`None` for a
+    /// replica serving brute force without an index). Surfaced through the
+    /// front-end's `/stats` route so operators can see which backend is
+    /// live on each shard and what parameters it resolved to.
+    pub fn ann_descriptors(&self) -> Vec<Option<AnnDescriptor>> {
+        self.shards.iter().map(|s| s.engine.ann_descriptor()).collect()
     }
 
     /// The shard owning global item id `item` (bases are ascending, so the

@@ -114,6 +114,44 @@ fn sharded_exhaustive_ann_probe_matches_unsharded_brute_force() {
     }
 }
 
+/// The graph backend under the same gate: per-shard HNSW graphs probed at
+/// exhaustive width (`ef_search >= n`) reproduce the unsharded brute-force
+/// answer bit-for-bit at every shard count and thread count, and the
+/// front-end surfaces one "hnsw" descriptor per shard.
+#[test]
+fn sharded_exhaustive_hnsw_probe_matches_unsharded_brute_force() {
+    let _guard = pool_lock().lock().unwrap();
+    let art = artifact();
+    let ann = ServeConfig {
+        ann: Some(AnnConfig {
+            kind: imcat_serve::AnnKind::Hnsw,
+            ef_search: 4096,
+            ..AnnConfig::default()
+        }),
+        ..Default::default()
+    };
+    let mut reference = Engine::new(art.clone(), ServeConfig::default()).unwrap();
+    for shards in [2usize, 4] {
+        for threads in [1usize, 4] {
+            with_threads(threads, || {
+                let mut sharded = ShardedEngine::new(art, &ann, shards).unwrap();
+                for d in sharded.ann_descriptors() {
+                    assert_eq!(d.expect("descriptor per shard").kind, "hnsw");
+                }
+                for u in 0..art.n_users() as u32 {
+                    let got = sharded.recommend(u, 10).unwrap();
+                    let want = reference.recommend(u, 10).unwrap();
+                    assert_bit_identical(
+                        &got,
+                        &want,
+                        &format!("hnsw shards={shards} threads={threads} user={u}"),
+                    );
+                }
+            });
+        }
+    }
+}
+
 /// Malformed requests are typed rejections on the sharded path too, and a
 /// poisoned tick leaves the valid slots untouched.
 #[test]

@@ -83,6 +83,10 @@ pub static KNOBS: &[Knob] = &[
     knob!("IMCAT_ANN_K", Int, "10", "bench", "ann_bench ranking cutoff"),
     knob!("IMCAT_ANN_ZIPF", Float, "1.1", "bench", "ann_bench user-popularity skew"),
     knob!("IMCAT_ANN_NLIST", Int, "0", "bench", "ann_bench inverted-list count (0 = auto)"),
+    knob!("IMCAT_ANN_KIND", Str, "ivf", "serve", "ANN backend: ivf, brute, or hnsw"),
+    knob!("IMCAT_HNSW_M", Int, "0", "ann", "HNSW degree bound per level (0 = auto)"),
+    knob!("IMCAT_HNSW_EFC", Int, "0", "ann", "HNSW construction beam width (0 = auto)"),
+    knob!("IMCAT_HNSW_EFS", Int, "0", "ann", "HNSW search beam width (0 = auto)"),
     knob!("IMCAT_KERNEL_REPS", Int, "5", "bench", "kernel_bench best-of repetitions"),
     knob!("IMCAT_KERNEL_BATCH", Int, "4", "bench", "kernel_bench matmul row-batch size"),
     knob!("IMCAT_NET_SHARDS", Int, "1", "net", "Engine replicas sharded on the item axis"),

@@ -13,12 +13,14 @@
 //!
 //! ## ANN retrieval
 //!
-//! With [`ServeConfig::ann`] set, requests go through an `imcat-ann`
-//! IVF-Flat probe instead of scoring the whole catalog: only the `nprobe`
-//! best inverted lists are scanned, candidates are scored with the *same*
-//! exact dot products, and the final list is re-ranked through the same
-//! `top_n_masked_with` path — any error is pure recall loss, never a wrong
-//! score or ordering, and `nprobe == nlist` is bit-identical to brute force.
+//! With [`ServeConfig::ann`] set, requests go through an `imcat-ann` probe
+//! (whichever backend `AnnConfig::kind` selects — IVF-Flat lists, the HNSW
+//! graph, or exhaustive brute force) instead of scoring the whole catalog:
+//! only the probed candidates are scanned, candidates are scored with the
+//! *same* exact dot products, and the final list is re-ranked through the
+//! same `top_n_masked_with` path — any error is pure recall loss, never a
+//! wrong score or ordering; `nprobe == nlist` (IVF) and `ef_search == n`
+//! (HNSW) are bit-identical to brute force.
 //! The engine falls back to brute force (counted as `ann.fallbacks`) for
 //! cold users (all-zero embedding, where centroid ranking is meaningless),
 //! fully-masked users, and probes too sparse to fill the requested `k`.
@@ -42,7 +44,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use imcat_ann::{AnnConfig, AnnIndex, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
+use imcat_ann::{AnnConfig, AnnIndex, AnnKind, IvfIndex, ProbeScratch, DEFAULT_BUILD_SEED};
 use imcat_ckpt::{Artifact, Checkpoint};
 use imcat_eval::{top_n_masked_with, TopKScratch};
 use imcat_obs::Histogram;
@@ -137,6 +139,30 @@ impl AnnState {
         let index = cfg.build_index(&artifact.item_emb, DEFAULT_BUILD_SEED);
         Self { cfg, index, scratch: ProbeScratch::default() }
     }
+}
+
+/// Which ANN backend a live engine is serving and the parameters its
+/// configuration resolves to for the current catalog — the operator-facing
+/// answer to "what index is this shard actually running?". Fields that do
+/// not apply to the active kind are zero/false (e.g. `nlist` under HNSW).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnDescriptor {
+    /// Backend name as `IMCAT_ANN_KIND` spells it: `ivf`, `brute`, `hnsw`.
+    pub kind: &'static str,
+    /// Catalog size the index currently covers.
+    pub n_items: usize,
+    /// Resolved inverted-list count (IVF).
+    pub nlist: usize,
+    /// Resolved probed-list count (IVF).
+    pub nprobe: usize,
+    /// Resolved degree bound (HNSW).
+    pub m: usize,
+    /// Resolved construction beam width (HNSW).
+    pub ef_construction: usize,
+    /// Resolved search beam width (HNSW).
+    pub ef_search: usize,
+    /// Whether the lists carry int8 codes (IVF).
+    pub quantized: bool,
 }
 
 /// One ranked recommendation.
@@ -308,6 +334,40 @@ impl Engine {
     /// kind.
     pub fn ann_backend(&self) -> Option<&dyn AnnIndex> {
         self.ann.as_ref().map(|s| s.index.as_ref())
+    }
+
+    /// Operator-facing description of the live ANN backend: its kind plus
+    /// the build/probe parameters the configuration resolves to for the
+    /// current catalog. `None` when serving brute force without an index.
+    /// Served per shard by the front-end's `/stats` route.
+    pub fn ann_descriptor(&self) -> Option<AnnDescriptor> {
+        let state = self.ann.as_ref()?;
+        let kind = state.index.kind();
+        let n_items = state.index.n_items();
+        let mut d = AnnDescriptor {
+            kind: kind.name(),
+            n_items,
+            nlist: 0,
+            nprobe: 0,
+            m: 0,
+            ef_construction: 0,
+            ef_search: 0,
+            quantized: false,
+        };
+        match kind {
+            AnnKind::Ivf => {
+                d.nlist = state.cfg.resolved_nlist(n_items);
+                d.nprobe = state.cfg.resolved_nprobe(n_items);
+                d.quantized = state.cfg.quantized;
+            }
+            AnnKind::Hnsw => {
+                d.m = state.cfg.resolved_m(n_items);
+                d.ef_construction = state.cfg.resolved_ef_construction(n_items);
+                d.ef_search = state.cfg.resolved_ef_search(n_items);
+            }
+            AnnKind::Brute => {}
+        }
+        Some(d)
     }
 
     /// The artifact currently being served.
@@ -646,8 +706,10 @@ impl Engine {
         if u_row.iter().all(|&x| x == 0.0) {
             return None;
         }
-        let nprobe = state.cfg.resolved_nprobe(n_items);
-        state.index.probe(u_row, &self.artifact.item_emb, mask, k, nprobe, &mut state.scratch);
+        // `nprobe` for the list backends, `ef_search` for the graph — the
+        // probe-width knob of whichever backend is live.
+        let width = state.cfg.resolved_probe_width(n_items);
+        state.index.probe(u_row, &self.artifact.item_emb, mask, k, width, &mut state.scratch);
         let unmasked = state.scratch.candidates().len() - state.scratch.mask().len();
         if unmasked < k.min(n_items - mask.len()) {
             return None;

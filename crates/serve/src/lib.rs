@@ -40,7 +40,7 @@ mod ingest;
 mod rebuild;
 
 pub use cache::LruCache;
-pub use engine::{Engine, Recommendation, ServeConfig, ServeError, ServeStats};
+pub use engine::{AnnDescriptor, Engine, Recommendation, ServeConfig, ServeError, ServeStats};
 pub use foldin::{fold_embedding, FoldOptions};
 pub use imcat_ann::{AnnConfig, AnnIndex, AnnKind, BruteIndex, IvfIndex, ProbeScratch};
 pub use imcat_ckpt::Artifact;

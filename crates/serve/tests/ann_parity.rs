@@ -11,7 +11,7 @@ use imcat_ann::DEFAULT_BUILD_SEED;
 use imcat_ckpt::Checkpoint;
 use imcat_data::{generate, SplitDataset, SynthConfig};
 use imcat_models::{Bprmf, RecModel, TrainConfig};
-use imcat_serve::{AnnConfig, Engine, ServeConfig};
+use imcat_serve::{AnnConfig, AnnKind, Engine, Interaction, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -431,6 +431,199 @@ fn ann_serving_bit_identical_across_thread_counts() {
         })
     };
     assert_eq!(fingerprint(1), fingerprint(4), "ANN serving depends on thread count");
+}
+
+fn hnsw_cfg(ef_search: usize) -> ServeConfig {
+    ServeConfig {
+        cache_capacity: 0,
+        ann: Some(AnnConfig { kind: AnnKind::Hnsw, ef_search, ..AnnConfig::default() }),
+        ..Default::default()
+    }
+}
+
+/// Acceptance criterion for the graph backend: at `ef_search >= n` the
+/// HNSW path must reproduce brute force bit-identically — same items, same
+/// order (ties included), same score bits — for every user and cutoff.
+#[test]
+fn hnsw_exhaustive_ef_is_bit_identical_to_brute_force() {
+    let data = tiny_split(51);
+    let model = trained_bprmf(&data);
+    let mut artifact = model.export_artifact(&data).unwrap();
+    // Inject exact duplicates so the comparison covers tie order too.
+    let dup = artifact.item_emb.row(5).to_vec();
+    for j in [9usize, 23, 41] {
+        artifact.item_emb.row_mut(j).copy_from_slice(&dup);
+    }
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut hnsw = Engine::new(artifact, hnsw_cfg(4096)).unwrap();
+    for u in 0..data.n_users() as u32 {
+        for k in [1, 7, 30] {
+            let b = brute.recommend(u, k).unwrap();
+            let a = hnsw.recommend(u, k).unwrap();
+            assert_eq!(a.len(), b.len(), "user {u} k {k}: list lengths differ");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.item, y.item, "user {u} k {k}: item order differs");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "user {u} k {k}: score bits differ"
+                );
+            }
+        }
+    }
+}
+
+/// Lossy graph traversal trades recall, never correctness: every returned
+/// score is the exact dot product, lists stay sorted, and recall against
+/// brute force is high on this easy catalog.
+#[test]
+fn hnsw_partial_ef_scores_are_exact_and_recall_is_high() {
+    let data = tiny_split(52);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = Bprmf::new(&data, TrainConfig::default(), &mut rng);
+    for _ in 0..25 {
+        model.train_epoch(&mut rng);
+    }
+    let artifact = model.export_artifact(&data).unwrap();
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut hnsw = Engine::new(artifact, hnsw_cfg(32)).unwrap();
+    let k = 10;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for u in 0..data.n_users() as u32 {
+        let exact = brute.recommend(u, k).unwrap();
+        let approx = hnsw.recommend(u, k).unwrap();
+        let scores = model.score_users(&[u]);
+        for w in approx.windows(2) {
+            assert!(w[0].score >= w[1].score, "user {u}: HNSW list not sorted");
+        }
+        for r in &approx {
+            assert_eq!(
+                r.score.to_bits(),
+                scores.row(0)[r.item as usize].to_bits(),
+                "user {u}: HNSW returned a non-exact score"
+            );
+        }
+        let truth: Vec<u32> = exact.iter().map(|r| r.item).collect();
+        hits += approx.iter().filter(|r| truth.contains(&r.item)).count();
+        total += truth.len();
+    }
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.6, "recall@10 {recall:.3} unexpectedly low at ef_search=32");
+}
+
+/// Cold users (all-zero embedding) and fully-masked users take the brute
+/// fallback on the graph backend too.
+#[test]
+fn hnsw_cold_and_fully_masked_users_fall_back() {
+    let data = tiny_split(53);
+    let model = trained_bprmf(&data);
+    let mut artifact = model.export_artifact(&data).unwrap();
+    for x in artifact.user_emb.row_mut(0) {
+        *x = 0.0;
+    }
+    let n_items = artifact.n_items() as u32;
+    artifact.masks[1] = (0..n_items).collect();
+    let mut brute =
+        Engine::new(artifact.clone(), ServeConfig { cache_capacity: 0, ..Default::default() })
+            .unwrap();
+    let mut hnsw = Engine::new(artifact, hnsw_cfg(16)).unwrap();
+    assert_eq!(hnsw.recommend(0, 10).unwrap(), brute.recommend(0, 10).unwrap());
+    assert_eq!(hnsw.recommend(1, 10).unwrap(), vec![]);
+}
+
+/// Streaming contract: a cold item folded mid-stream is inserted into the
+/// *live* graph (no rebuild), grows the backend's catalog, and at
+/// exhaustive width the extended graph still matches brute force bitwise.
+#[test]
+fn hnsw_cold_items_enter_the_live_graph() {
+    let data = tiny_split(54);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let n_before = artifact.n_items();
+    let mut engine = Engine::new(artifact, hnsw_cfg(4096)).unwrap();
+    let cold = engine.register_item();
+    assert_eq!(cold as usize, n_before);
+    // The unfolded item is registered but unreachable; probes must not see
+    // it yet and requests must keep working.
+    assert_eq!(engine.ann_backend().unwrap().n_items(), n_before);
+    engine.recommend(0, 10).unwrap();
+    // Warm evidence, then fold: the item gets a nonzero row and a live
+    // graph insert.
+    for u in 0..4u32 {
+        engine.ingest(Interaction { user: u, item: cold }).unwrap();
+    }
+    engine.fold_pending();
+    assert_eq!(engine.ann_backend().unwrap().n_items(), n_before + 1, "fold skipped the insert");
+    let desc = engine.ann_descriptor().unwrap();
+    assert_eq!(desc.kind, "hnsw");
+    assert_eq!(desc.n_items, n_before + 1);
+    // Post-fold parity: brute force over the grown artifact agrees bitwise.
+    let mut brute = Engine::new(
+        engine.artifact().clone(),
+        ServeConfig { cache_capacity: 0, ..Default::default() },
+    )
+    .unwrap();
+    for u in 0..engine.n_users() as u32 {
+        assert_eq!(
+            engine.recommend(u, 10).unwrap(),
+            brute.recommend(u, 10).unwrap(),
+            "user {u}: grown graph diverged from brute force"
+        );
+    }
+}
+
+/// HNSW serving is thread-count invariant end to end (build, traversal,
+/// exact re-rank) at a lossy width.
+#[test]
+fn hnsw_serving_bit_identical_across_thread_counts() {
+    let _guard = pool_lock().lock().unwrap();
+    let data = tiny_split(55);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let fingerprint = |threads: usize| {
+        with_threads(threads, || {
+            let mut engine = Engine::new(artifact.clone(), hnsw_cfg(24)).unwrap();
+            let mut fp: Vec<(u32, u32)> = Vec::new();
+            for u in 0..data.n_users() as u32 {
+                for r in engine.recommend(u, 10).unwrap() {
+                    fp.push((r.item, r.score.to_bits()));
+                }
+            }
+            fp
+        })
+    };
+    assert_eq!(fingerprint(1), fingerprint(4), "HNSW serving depends on thread count");
+}
+
+/// The descriptor reports the active backend and its resolved parameters.
+#[test]
+fn ann_descriptor_reports_resolved_parameters() {
+    let data = tiny_split(56);
+    let model = trained_bprmf(&data);
+    let artifact = model.export_artifact(&data).unwrap();
+    let n = artifact.n_items();
+
+    let plain = Engine::new(artifact.clone(), ServeConfig::default()).unwrap();
+    assert!(plain.ann_descriptor().is_none(), "no ANN state must mean no descriptor");
+
+    let ivf = Engine::new(artifact.clone(), ann_cfg(8, 3)).unwrap();
+    let d = ivf.ann_descriptor().unwrap();
+    assert_eq!((d.kind, d.n_items, d.nlist, d.nprobe), ("ivf", n, 8, 3));
+    assert_eq!((d.m, d.ef_construction, d.ef_search), (0, 0, 0));
+
+    let hnsw = Engine::new(artifact, hnsw_cfg(0)).unwrap();
+    let d = hnsw.ann_descriptor().unwrap();
+    let cfg = AnnConfig { kind: AnnKind::Hnsw, ..AnnConfig::default() };
+    assert_eq!((d.kind, d.n_items), ("hnsw", n));
+    assert_eq!(d.m, cfg.resolved_m(n));
+    assert_eq!(d.ef_construction, cfg.resolved_ef_construction(n));
+    assert_eq!(d.ef_search, cfg.resolved_ef_search(n));
+    assert_eq!((d.nlist, d.nprobe), (0, 0));
 }
 
 /// The build itself is deterministic: two engines over the same artifact
